@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark): the kernels whose cost structure
+// determines PI2M's single-threaded rate — exact predicates (filtered vs
+// exact path), EDT construction, oracle queries, Bowyer-Watson insertion
+// throughput, spatial grid operations, and vertex removal.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/spatial_grid.hpp"
+#include "delaunay/local_dt.hpp"
+#include "delaunay/mesh.hpp"
+#include "delaunay/operations.hpp"
+#include "imaging/edt.hpp"
+#include "imaging/isosurface.hpp"
+#include "imaging/phantom.hpp"
+#include "predicates/predicates.hpp"
+
+namespace {
+
+using namespace pi2m;
+
+std::vector<Vec3> random_points(std::size_t n, unsigned seed,
+                                double lo = 0.02, double hi = 0.98) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(lo, hi);
+  std::vector<Vec3> pts(n);
+  for (Vec3& p : pts) p = {u(rng), u(rng), u(rng)};
+  return pts;
+}
+
+void BM_Orient3dFiltered(benchmark::State& state) {
+  const auto pts = random_points(4096, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Vec3& a = pts[i % pts.size()];
+    const Vec3& b = pts[(i + 1) % pts.size()];
+    const Vec3& c = pts[(i + 2) % pts.size()];
+    const Vec3& d = pts[(i + 3) % pts.size()];
+    benchmark::DoNotOptimize(orient3d(a, b, c, d));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3dFiltered);
+
+void BM_Orient3dExactPath(benchmark::State& state) {
+  // Coplanar inputs force the expansion-arithmetic fallback every call.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0.3, 0.4, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient3d(a, b, c, d));
+  }
+}
+BENCHMARK(BM_Orient3dExactPath);
+
+void BM_InsphereFiltered(benchmark::State& state) {
+  const auto pts = random_points(4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        insphere(pts[i % 4096], pts[(i + 1) % 4096], pts[(i + 2) % 4096],
+                 pts[(i + 3) % 4096], pts[(i + 4) % 4096]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InsphereFiltered);
+
+void BM_InsphereExactPath(benchmark::State& state) {
+  // Cospherical cube corners force the exact fallback.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 0, 1}, d{0, 1, 0}, e{1, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insphere(a, b, c, d, e));
+  }
+}
+BENCHMARK(BM_InsphereExactPath);
+
+void BM_EdtConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LabeledImage3D img = phantom::abdominal(n, n, n);
+  for (auto _ : state) {
+    const FeatureTransform ft = FeatureTransform::compute(img, 1);
+    benchmark::DoNotOptimize(ft.has_surface());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(img.voxel_count()));
+}
+BENCHMARK(BM_EdtConstruction)->Arg(32)->Arg(64);
+
+void BM_OracleClosestSurfacePoint(benchmark::State& state) {
+  const LabeledImage3D img = phantom::abdominal(48, 48, 48);
+  const IsosurfaceOracle oracle(img, 1);
+  const auto pts = random_points(1024, 3, 5.0, 43.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.closest_surface_point(pts[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OracleClosestSurfacePoint);
+
+void BM_DelaunayInsertion(benchmark::State& state) {
+  // Throughput of the full speculative insertion path (single thread).
+  const auto pts = random_points(1u << 14, 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DelaunayMesh mesh({{0, 0, 0}, {1, 1, 1}}, 1u << 16, 1u << 19);
+    OpScratch scratch;
+    state.ResumeTiming();
+    CellId hint = 0;
+    for (const Vec3& p : pts) {
+      const OpResult r =
+          insert_point(mesh, p, VertexKind::Circumcenter, hint, 0, scratch);
+      if (r.status == OpStatus::Success) hint = scratch.created.front();
+    }
+    benchmark::DoNotOptimize(hint);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_DelaunayInsertion)->Unit(benchmark::kMillisecond);
+
+void BM_DelaunayRemoval(benchmark::State& state) {
+  const auto pts = random_points(2000, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DelaunayMesh mesh({{0, 0, 0}, {1, 1, 1}}, 1u << 16, 1u << 19);
+    OpScratch scratch;
+    std::vector<VertexId> inserted;
+    for (const Vec3& p : pts) {
+      const OpResult r =
+          insert_point(mesh, p, VertexKind::Circumcenter, 0, 0, scratch);
+      if (r.status == OpStatus::Success) inserted.push_back(r.new_vertex);
+    }
+    state.ResumeTiming();
+    int removed = 0;
+    for (std::size_t i = 0; i < inserted.size(); i += 4) {
+      if (remove_vertex(mesh, inserted[i], 0, scratch).status ==
+          OpStatus::Success) {
+        ++removed;
+      }
+    }
+    benchmark::DoNotOptimize(removed);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_DelaunayRemoval)->Unit(benchmark::kMillisecond);
+
+void BM_SpatialGridInsertQuery(benchmark::State& state) {
+  const Aabb box{{0, 0, 0}, {100, 100, 100}};
+  const auto pts = random_points(1u << 14, 6, 1.0, 99.0);
+  for (auto _ : state) {
+    SpatialHashGrid grid(box, 2.0);
+    VertexId id = 0;
+    for (const Vec3& p : pts) {
+      if (!grid.any_within(p, 1.0)) grid.insert(p, id++);
+    }
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pts.size()));
+}
+BENCHMARK(BM_SpatialGridInsertQuery)->Unit(benchmark::kMillisecond);
+
+void BM_LocalDelaunayBuild(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    const LocalDelaunay dt(pts);
+    benchmark::DoNotOptimize(dt.ok());
+  }
+}
+BENCHMARK(BM_LocalDelaunayBuild)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Reproduces paper Table 1: comparison among Contention Managers
+// (Aggressive-CM, Random-CM, Global-CM, Local-CM) at two thread counts.
+// Rows: time, rollbacks, contention/load-balance/rollback overhead seconds,
+// total overhead, speedup vs 1 thread, livelock observed.
+//
+//   ./bench_table1_cm [grid_size=48] [delta=1.2] [threads_a=4] [threads_b=8]
+//
+// Paper shape to reproduce: Aggressive livelocks; Random terminates (if at
+// all) with far larger rollback counts and overheads; Global and Local are
+// livelock-free with Local showing the lowest total overhead.
+#include <optional>
+
+#include "bench_common.hpp"
+
+using namespace pi2m;
+
+namespace {
+
+struct CmRun {
+  bool livelock = false;
+  RefineOutcome out;
+};
+
+CmRun run_cm(const LabeledImage3D& img, double delta, int threads, CmKind cm,
+             double watchdog) {
+  bench::RunConfig cfg;
+  cfg.delta = delta;
+  cfg.threads = threads;
+  cfg.cm = cm;
+  cfg.watchdog_sec = watchdog;
+  CmRun r;
+  r.out = bench::run_pi2m(img, cfg);
+  r.livelock = r.out.livelocked;
+  return r;
+}
+
+void table_for(const LabeledImage3D& img, double delta, int threads,
+               double t1_sec) {
+  std::printf("\n(Table 1 reproduction) %d threads\n", threads);
+  io::TextTable t;
+  t.add_row({"", "Aggressive-CM", "Random-CM", "Global-CM", "Local-CM"});
+
+  const CmKind kinds[] = {CmKind::Aggressive, CmKind::Random, CmKind::Global,
+                          CmKind::Local};
+  std::vector<CmRun> runs;
+  runs.reserve(4);
+  for (const CmKind k : kinds) {
+    std::printf("  running %s...\n", to_string(k));
+    // Aggressive/Random may livelock; keep their watchdog short.
+    const double wd = (k == CmKind::Aggressive || k == CmKind::Random) ? 10.0
+                                                                       : 30.0;
+    runs.push_back(run_cm(img, delta, threads, k, wd));
+  }
+
+  auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const CmRun& r : runs) {
+      cells.push_back(r.livelock ? "n/a" : getter(r.out));
+    }
+    t.add_row(std::move(cells));
+  };
+  row("time (secs)",
+      [](const RefineOutcome& o) { return io::fmt_double(o.wall_sec, 2); });
+  row("#elements",
+      [](const RefineOutcome& o) { return io::fmt_int(o.mesh_cells); });
+  row("rollbacks",
+      [](const RefineOutcome& o) { return io::fmt_int(o.totals.rollbacks); });
+  row("contention overhead (secs)", [](const RefineOutcome& o) {
+    return io::fmt_double(o.totals.contention_sec, 2);
+  });
+  row("load balance overhead (secs)", [](const RefineOutcome& o) {
+    return io::fmt_double(o.totals.loadbalance_sec, 2);
+  });
+  row("rollback overhead (secs)", [](const RefineOutcome& o) {
+    return io::fmt_double(o.totals.rollback_sec, 2);
+  });
+  row("total overhead (secs)", [](const RefineOutcome& o) {
+    return io::fmt_double(o.totals.total_overhead_sec(), 2);
+  });
+  row("speedup vs 1 thread", [t1_sec](const RefineOutcome& o) {
+    return io::fmt_double(t1_sec / o.wall_sec, 2);
+  });
+  {
+    std::vector<std::string> cells{"livelock"};
+    for (const CmRun& r : runs) cells.push_back(r.livelock ? "yes" : "no");
+    t.add_row(std::move(cells));
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 56;
+  const double delta = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const int threads_a = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int threads_b = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  std::printf("== Table 1: Contention Manager comparison ==\n");
+  std::printf("input: abdominal phantom %d^3, delta=%.2f\n", n, delta);
+  bench::print_host_note();
+
+  const LabeledImage3D img = phantom::abdominal(n, n, n);
+
+  std::printf("baseline single-thread run...\n");
+  bench::RunConfig base;
+  base.delta = delta;
+  base.threads = 1;
+  const RefineOutcome o1 = bench::run_pi2m(img, base);
+  std::printf("1-thread: %.2fs, %zu elements\n", o1.wall_sec, o1.mesh_cells);
+
+  table_for(img, delta, threads_a, o1.wall_sec);
+  table_for(img, delta, threads_b, o1.wall_sec);
+  return 0;
+}

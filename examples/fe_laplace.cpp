@@ -1,0 +1,80 @@
+// End-to-end FE pipeline — the use case the paper's introduction motivates:
+// mesh a segmented image, then run a finite-element solve on the result.
+//
+// Solves the Laplace problem -∆u = 0 on a ball phantom with Dirichlet data
+// g(p) = p.x on the recovered isosurface. The exact solution is the
+// harmonic function u = x, so the nodal error measures the whole pipeline
+// (image -> isosurface recovery -> quality mesh -> assembly -> solve).
+// Also demonstrates how mesh smoothing affects solver conditioning (CG
+// iterations).
+//
+//   ./fe_laplace [grid_size] [delta] [threads]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pi2m.hpp"
+#include "core/smoothing.hpp"
+#include "fem/laplace.hpp"
+#include "imaging/phantom.hpp"
+#include "metrics/quality.hpp"
+
+namespace {
+
+double solve_and_report(const char* tag, const pi2m::TetMesh& mesh) {
+  pi2m::fem::DirichletProblem problem;
+  problem.boundary_value = [](const pi2m::Vec3& p) { return p.x; };
+  const pi2m::fem::SolveResult sol =
+      pi2m::fem::solve_laplace(mesh, problem, 1e-9);
+
+  double max_err = 0.0;
+  for (std::size_t v = 0; v < mesh.points.size(); ++v) {
+    max_err = std::max(max_err, std::abs(sol.u[v] - mesh.points[v].x));
+  }
+  const pi2m::QualityReport q = pi2m::evaluate_quality(mesh);
+  std::printf(
+      "%-10s CG %s in %4d iters (res %.1e) | max nodal error %.2e | "
+      "min dihedral %.2f deg\n",
+      tag, sol.converged ? "converged" : "FAILED", sol.iterations,
+      sol.residual, max_err, q.min_dihedral_deg);
+  return max_err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 40;
+  const double delta = argc > 2 ? std::atof(argv[2]) : 1.6;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  std::printf("FE pipeline demo: Laplace equation on a meshed ball phantom\n");
+  std::printf("(exact solution u = x; nodal error measures the pipeline)\n\n");
+
+  const pi2m::LabeledImage3D img = pi2m::phantom::ball(n, 0.7);
+  pi2m::MeshingOptions opt;
+  opt.delta = delta;
+  opt.threads = threads;
+  pi2m::MeshingResult res = pi2m::mesh_image(img, opt);
+  if (!res.ok()) {
+    std::fprintf(stderr, "meshing failed\n");
+    return 1;
+  }
+  std::printf("mesh: %zu tets, %zu vertices, built in %.2fs\n\n",
+              res.mesh.num_tets(), res.mesh.num_points(),
+              res.outcome.wall_sec + res.outcome.edt_sec);
+
+  solve_and_report("as-meshed", res.mesh);
+
+  // Quality-guarded smoothing and re-solve: better worst elements usually
+  // means fewer CG iterations at the same tolerance.
+  const pi2m::IsosurfaceOracle oracle(img, threads);
+  pi2m::SmoothingOptions sopt;
+  sopt.iterations = 4;
+  sopt.threads = threads;
+  pi2m::smooth_mesh(res.mesh, oracle, sopt);
+  solve_and_report("smoothed", res.mesh);
+
+  std::printf("\n(the nodal error is bounded by the O(h^2) interpolation\n"
+              " error of P1 elements at this mesh resolution)\n");
+  return 0;
+}

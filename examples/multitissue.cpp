@@ -1,0 +1,74 @@
+// Multi-tissue meshing: the scenario the paper's introduction motivates —
+// patient-specific FE models from segmented multi-label scans. Meshes the
+// "abdominal" and "head-neck" phantoms (stand-ins for the IRCAD/SPL
+// atlases), reports per-tissue element counts, verifies multi-material
+// conformity, and exports per-case VTK/Medit files.
+//
+//   ./multitissue [grid_size] [delta] [threads]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/pi2m.hpp"
+#include "imaging/phantom.hpp"
+#include "io/writers.hpp"
+#include "metrics/hausdorff.hpp"
+#include "metrics/quality.hpp"
+
+namespace {
+
+void mesh_case(const std::string& name, const pi2m::LabeledImage3D& img,
+               double delta, int threads) {
+  std::printf("=== %s (%dx%dx%d, %zu tissues) ===\n", name.c_str(), img.nx(),
+              img.ny(), img.nz(), img.labels_present().size());
+
+  pi2m::MeshingOptions opt;
+  opt.delta = delta;
+  opt.threads = threads;
+  const pi2m::MeshingResult res = pi2m::mesh_image(img, opt);
+  if (!res.ok()) {
+    std::fprintf(stderr, "  meshing failed\n");
+    return;
+  }
+
+  std::map<int, std::size_t> per_label;
+  for (const pi2m::Label l : res.mesh.tet_labels) ++per_label[l];
+  std::printf("  %zu elements in %.2fs (%.0f el/s), %zu interface tris\n",
+              res.mesh.num_tets(), res.outcome.wall_sec,
+              res.elements_per_sec(), res.mesh.boundary_tris.size());
+  for (const auto& [label, count] : per_label) {
+    std::printf("    tissue %d : %zu elements\n", label, count);
+  }
+
+  const pi2m::QualityReport q = pi2m::evaluate_quality(res.mesh);
+  std::printf("  quality: max rho=%.2f, dihedral [%.1f, %.1f] deg, "
+              "min boundary angle %.1f deg\n",
+              q.max_radius_edge, q.min_dihedral_deg, q.max_dihedral_deg,
+              q.min_boundary_planar_deg);
+
+  // Fidelity: two-sided Hausdorff distance against the image isosurface.
+  const pi2m::IsosurfaceOracle oracle(img, threads);
+  const pi2m::HausdorffResult h =
+      pi2m::hausdorff_distance(res.mesh, oracle, 2);
+  std::printf("  fidelity: Hausdorff %.2f voxels (mesh->surf %.2f, "
+              "surf->mesh %.2f)\n",
+              h.symmetric(), h.mesh_to_surface, h.surface_to_mesh);
+
+  const std::string base = name;
+  pi2m::io::write_vtk(res.mesh, base + ".vtk");
+  pi2m::io::write_medit(res.mesh, base + ".mesh");
+  std::printf("  wrote %s.vtk / %s.mesh\n\n", base.c_str(), base.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 48;
+  const double delta = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  mesh_case("abdominal", pi2m::phantom::abdominal(n, n, n), delta, threads);
+  mesh_case("head_neck", pi2m::phantom::head_neck(n, n, n), delta, threads);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Custom sizing fields (rule R5): the control over surface/volume density
+// the paper contrasts with voxel-pitch-locked PLC methods (§2). Meshes the
+// knee phantom three ways — uniform, radially graded toward the joint, and
+// axis-graded — and shows how the element budget redistributes.
+//
+//   ./sizing_field [grid_size] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pi2m.hpp"
+#include "imaging/phantom.hpp"
+#include "io/writers.hpp"
+#include "metrics/quality.hpp"
+
+namespace {
+
+void run(const char* name, const pi2m::LabeledImage3D& img,
+         const pi2m::MeshingOptions& opt) {
+  const pi2m::MeshingResult res = pi2m::mesh_image(img, opt);
+  if (!res.ok()) {
+    std::fprintf(stderr, "%s: meshing failed\n", name);
+    return;
+  }
+  const pi2m::QualityReport q = pi2m::evaluate_quality(res.mesh);
+  std::printf("%-14s %8zu elements  %7.2fs  max rho %.2f  min vol %.3g\n",
+              name, res.mesh.num_tets(), res.outcome.wall_sec,
+              q.max_radius_edge, q.min_volume);
+  std::string path = std::string("sizing_") + name + ".vtk";
+  pi2m::io::write_vtk(res.mesh, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 2;
+  const pi2m::LabeledImage3D img = pi2m::phantom::knee(n, n, n);
+
+  const pi2m::Vec3 joint{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+
+  pi2m::MeshingOptions uniform;
+  uniform.delta = 2.0;
+  uniform.threads = threads;
+  uniform.size_function = pi2m::sizing::uniform(4.0);
+
+  pi2m::MeshingOptions radial = uniform;
+  // Fine (radius 1.5 voxels) at the joint line, coarse (6) far away.
+  radial.size_function = pi2m::sizing::radial(joint, 1.5, 6.0, 0.35);
+
+  pi2m::MeshingOptions graded = uniform;
+  graded.size_function = pi2m::sizing::axis_graded(2, 0.0, n - 1.0, 2.0, 8.0);
+
+  std::printf("Sizing-field study on the knee phantom (%d^3, %d threads)\n\n",
+              n, threads);
+  run("uniform", img, uniform);
+  run("radial_joint", img, radial);
+  run("axis_graded", img, graded);
+  std::printf("\nWrote sizing_*.vtk\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "baselines/plc_mesher.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "core/spatial_grid.hpp"
+#include "delaunay/local_dt.hpp"
+#include "delaunay/mesh.hpp"  // kFaceOf
+#include "geometry/tetra.hpp"
+#include "runtime/stats.hpp"
+
+namespace pi2m::baselines {
+namespace {
+
+struct QueueEntry {
+  double key;
+  int tet;
+  bool operator<(const QueueEntry& o) const { return key < o.key; }
+};
+
+class PlcMesher {
+ public:
+  PlcMesher(const TetMesh& surface, const IsosurfaceOracle& oracle,
+            const PlcMesherOptions& opt)
+      : opt_(opt),
+        oracle_(oracle),
+        box_(oracle.image().bounds().inflated(
+            0.15 * norm(oracle.image().bounds().extent()))),
+        dt_(box_),
+        boundary_grid_(box_, std::max(opt.protect_radius, 1e-6)),
+        surface_(surface) {}
+
+  PlcMesherResult run() {
+    PlcMesherResult res;
+    const double t0 = now_sec();
+
+    // Phase 1: insert the box corners, then the given boundary sample.
+    for (int b = 0; b < 8; ++b) {
+      const Vec3 p{(b & 1) ? box_.hi.x : box_.lo.x,
+                   (b & 2) ? box_.hi.y : box_.lo.y,
+                   (b & 4) ? box_.hi.z : box_.lo.z};
+      add_point(p, /*boundary=*/false);
+    }
+    for (std::size_t i = 0; i < surface_.points.size(); ++i) {
+      if (!on_surface(surface_.point_kinds[i])) continue;
+      add_point(surface_.points[i], /*boundary=*/true);
+    }
+
+    // Phase 2: quality refinement of interior elements.
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      schedule(static_cast<int>(t));
+    }
+    while (!queue_.empty() && insertions_ < opt_.op_budget) {
+      const QueueEntry e = queue_.top();
+      queue_.pop();
+      if (!dt_.tets()[static_cast<std::size_t>(e.tet)].alive) continue;
+      refine_tet(e.tet);
+    }
+    res.completed = queue_.empty();
+    res.insertions = insertions_;
+    res.wall_sec = now_sec() - t0;
+    res.mesh = extract();
+    return res;
+  }
+
+ private:
+  int add_point(const Vec3& p, bool boundary) {
+    const int idx = dt_.add_point(p);
+    if (idx < 0) return -1;
+    ++insertions_;
+    if (boundary) boundary_grid_.insert(p, static_cast<VertexId>(idx));
+    for (const int t : dt_.last_created()) schedule(t);
+    return idx;
+  }
+
+  [[nodiscard]] bool has_aux(int t) const {
+    for (const int v : dt_.tets()[static_cast<std::size_t>(t)].v) {
+      if (LocalDelaunay::is_aux(v)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] Circumsphere circum(int t) const {
+    const auto& tet = dt_.tets()[static_cast<std::size_t>(t)];
+    return circumsphere(dt_.point(tet.v[0]), dt_.point(tet.v[1]),
+                        dt_.point(tet.v[2]), dt_.point(tet.v[3]));
+  }
+
+  void schedule(int t) {
+    if (has_aux(t)) return;
+    const Circumsphere cs = circum(t);
+    if (!cs.valid) return;
+    queue_.push({cs.radius2, t});
+  }
+
+  void refine_tet(int t) {
+    const auto& tet = dt_.tets()[static_cast<std::size_t>(t)];
+    const Circumsphere cs = circum(t);
+    if (!cs.valid || !oracle_.inside(cs.center)) return;
+    const double r = std::sqrt(cs.radius2);
+    const double shortest =
+        shortest_edge(dt_.point(tet.v[0]), dt_.point(tet.v[1]),
+                      dt_.point(tet.v[2]), dt_.point(tet.v[3]));
+    const bool bad_shape = shortest > 0.0 && r / shortest > opt_.rho_bound;
+    const bool too_big = opt_.size_fn && r > opt_.size_fn(cs.center);
+    if (!bad_shape && !too_big) return;
+    if (!box_.contains(cs.center)) return;
+    if (boundary_grid_.any_within(cs.center, opt_.protect_radius)) return;
+    add_point(cs.center, /*boundary=*/false);
+  }
+
+  [[nodiscard]] TetMesh extract() const {
+    TetMesh out;
+    std::map<int, std::uint32_t> remap;
+    auto map_vertex = [&](int v) {
+      auto it = remap.find(v);
+      if (it != remap.end()) return it->second;
+      const auto idx = static_cast<std::uint32_t>(out.points.size());
+      out.points.push_back(dt_.point(v));
+      out.point_kinds.push_back(VertexKind::Circumcenter);
+      remap.emplace(v, idx);
+      return idx;
+    };
+    std::vector<Label> keep(dt_.tets().size(), 0);
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      const auto& tet = dt_.tets()[t];
+      if (!tet.alive || has_aux(static_cast<int>(t))) continue;
+      const Circumsphere cs = circum(static_cast<int>(t));
+      if (!cs.valid) continue;
+      keep[t] = oracle_.label_at(cs.center);
+    }
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      if (keep[t] == 0) continue;
+      const auto& tet = dt_.tets()[t];
+      out.tets.push_back({map_vertex(tet.v[0]), map_vertex(tet.v[1]),
+                          map_vertex(tet.v[2]), map_vertex(tet.v[3])});
+      out.tet_labels.push_back(keep[t]);
+      for (int i = 0; i < 4; ++i) {
+        const int nb = tet.n[i];
+        const Label other = nb < 0 ? Label{0} : keep[static_cast<std::size_t>(nb)];
+        if (other >= keep[t]) continue;
+        out.boundary_tris.push_back({map_vertex(tet.v[kFaceOf[i][0]]),
+                                     map_vertex(tet.v[kFaceOf[i][1]]),
+                                     map_vertex(tet.v[kFaceOf[i][2]])});
+      }
+    }
+    return out;
+  }
+
+  PlcMesherOptions opt_;
+  const IsosurfaceOracle& oracle_;
+  Aabb box_;
+  LocalDelaunay dt_;
+  SpatialHashGrid boundary_grid_;
+  const TetMesh& surface_;
+  std::priority_queue<QueueEntry> queue_;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace
+
+PlcMesherResult mesh_volume_from_surface(const TetMesh& surface,
+                                         const IsosurfaceOracle& oracle,
+                                         const PlcMesherOptions& opt) {
+  PlcMesher mesher(surface, oracle, opt);
+  return mesher.run();
+}
+
+}  // namespace pi2m::baselines

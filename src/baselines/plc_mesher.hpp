@@ -1,0 +1,42 @@
+// PLC-based sequential volume mesher — the TetGen stand-in (Table 6).
+//
+// TetGen is PLC-based (paper §2/§7): it receives the recovered isosurface
+// triangulation as input and only fills the enclosed volume. Following the
+// paper's protocol, this baseline takes the surface vertices recovered by
+// PI2M, triangulates them (they become the boundary sample), and refines
+// the interior by radius-edge ratio plus an optional sizing field. In/out
+// classification uses a caller-provided oracle (the paper instead places
+// per-tissue seed points — which it notes is fragile for thin tissues; an
+// oracle is the robust equivalent). TetGen itself is not installed here;
+// see DESIGN.md "Substitutions".
+#pragma once
+
+#include "core/pi2m.hpp"
+#include "core/sizing.hpp"
+#include "imaging/isosurface.hpp"
+
+namespace pi2m::baselines {
+
+struct PlcMesherOptions {
+  double rho_bound = 2.0;
+  SizeFunction size_fn;
+  /// Circumcenters closer than this to a boundary vertex are rejected
+  /// (boundary protection; keeps termination without boundary re-recovery).
+  double protect_radius = 1.0;
+  std::uint64_t op_budget = std::uint64_t{1} << 28;
+};
+
+struct PlcMesherResult {
+  TetMesh mesh;
+  double wall_sec = 0.0;
+  std::uint64_t insertions = 0;
+  bool completed = false;
+};
+
+/// `surface` supplies the boundary sample (its points of surface kind) and
+/// `oracle` the in/out + label queries for element classification.
+PlcMesherResult mesh_volume_from_surface(const TetMesh& surface,
+                                         const IsosurfaceOracle& oracle,
+                                         const PlcMesherOptions& opt);
+
+}  // namespace pi2m::baselines

@@ -1,0 +1,244 @@
+#include "baselines/seq_mesher.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "core/spatial_grid.hpp"
+#include "delaunay/local_dt.hpp"
+#include "delaunay/mesh.hpp"  // kFaceOf, VertexKind
+#include "geometry/tetra.hpp"
+#include "runtime/stats.hpp"  // now_sec
+
+namespace pi2m::baselines {
+namespace {
+
+/// Worst-first queue entry (largest circumradius first, CGAL-style).
+struct QueueEntry {
+  double key;
+  int tet;
+  bool operator<(const QueueEntry& o) const { return key < o.key; }
+};
+
+class SeqMesher {
+ public:
+  SeqMesher(const LabeledImage3D& img, const SeqMesherOptions& opt)
+      : opt_(opt),
+        oracle_(img, /*threads=*/1),
+        box_(img.bounds().inflated(0.15 * norm(img.bounds().extent()))),
+        dt_(box_),
+        iso_grid_(box_, opt.delta) {
+    kinds_.assign(4, VertexKind::Box);  // the auxiliary corners
+  }
+
+  SeqMesherResult run() {
+    SeqMesherResult res;
+    const double t0 = now_sec();
+
+    // Bootstrap: the image bounding box corners play the virtual-box role.
+    for (int b = 0; b < 8; ++b) {
+      const Vec3 p{(b & 1) ? box_.hi.x : box_.lo.x,
+                   (b & 2) ? box_.hi.y : box_.lo.y,
+                   (b & 4) ? box_.hi.z : box_.lo.z};
+      add_vertex(p, VertexKind::Box);
+    }
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      schedule(static_cast<int>(t));
+    }
+
+    while (!queue_.empty() && insertions_ < opt_.op_budget) {
+      const QueueEntry e = queue_.top();
+      queue_.pop();
+      if (!dt_.tets()[static_cast<std::size_t>(e.tet)].alive) continue;
+      const bool acted = refine_tet(e.tet);
+      // R1/R3 insert points away from the tet's circumsphere; when the tet
+      // survives an *actual* insertion, re-examine it for the remaining
+      // rules. (A rejected insertion must not re-schedule, or the queue
+      // would never drain.)
+      if (acted && dt_.tets()[static_cast<std::size_t>(e.tet)].alive) {
+        schedule(e.tet);
+      }
+    }
+    res.completed = queue_.empty();
+    res.insertions = insertions_;
+    res.wall_sec = now_sec() - t0;
+    res.mesh = extract();
+    return res;
+  }
+
+ private:
+  int add_vertex(const Vec3& p, VertexKind kind) {
+    const int idx = dt_.add_point(p);
+    if (idx < 0) return -1;
+    ++insertions_;
+    kinds_.resize(static_cast<std::size_t>(idx) + 1, VertexKind::Box);
+    kinds_[static_cast<std::size_t>(idx)] = kind;
+    if (on_surface(kind)) {
+      iso_grid_.insert(p, static_cast<VertexId>(idx));
+    }
+    for (const int t : dt_.last_created()) schedule(t);
+    return idx;
+  }
+
+  [[nodiscard]] bool has_aux(int t) const {
+    for (const int v : dt_.tets()[static_cast<std::size_t>(t)].v) {
+      if (LocalDelaunay::is_aux(v)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] Circumsphere circum(int t) const {
+    const auto& tet = dt_.tets()[static_cast<std::size_t>(t)];
+    return circumsphere(dt_.point(tet.v[0]), dt_.point(tet.v[1]),
+                        dt_.point(tet.v[2]), dt_.point(tet.v[3]));
+  }
+
+  void schedule(int t) {
+    if (has_aux(t)) return;
+    const Circumsphere cs = circum(t);
+    if (!cs.valid) return;
+    queue_.push({cs.radius2, t});
+  }
+
+  /// Applies the first matching rule R1/R2/R3/R4/R5 to tet t; returns
+  /// whether an insertion was attempted.
+  bool refine_tet(int t) {
+    const auto& tet = dt_.tets()[static_cast<std::size_t>(t)];
+    const Circumsphere cs = circum(t);
+    if (!cs.valid) return false;
+    const double r = std::sqrt(cs.radius2);
+
+    if (oracle_.ball_may_intersect_surface(cs.center, r)) {
+      const auto zhat = oracle_.closest_surface_point(cs.center);
+      if (zhat && distance(cs.center, *zhat) <= r) {
+        if (!iso_grid_.any_within(*zhat, opt_.delta)) {
+          return add_vertex(*zhat, VertexKind::Isosurface) >= 0;
+        }
+        if (r > 2.0 * opt_.delta) {
+          return insert_circumcenter(cs.center);
+        }
+      }
+    }
+
+    // R3: facet surface-centers.
+    for (int i = 0; i < 4; ++i) {
+      const int nb = tet.n[i];
+      if (nb < 0 || has_aux(nb)) continue;
+      const Circumsphere ncs = circum(nb);
+      if (!ncs.valid) continue;
+      if (!oracle_.segment_may_intersect_surface(cs.center, ncs.center))
+        continue;
+      const auto hit = oracle_.segment_surface_intersection(cs.center, ncs.center);
+      if (!hit) continue;
+      const Vec3& fa = dt_.point(tet.v[kFaceOf[i][0]]);
+      const Vec3& fb = dt_.point(tet.v[kFaceOf[i][1]]);
+      const Vec3& fc = dt_.point(tet.v[kFaceOf[i][2]]);
+      const bool bad_angle =
+          min_triangle_angle(fa, fb, fc) < opt_.min_planar_angle_deg;
+      const bool off_surface =
+          !on_surface(kinds_[static_cast<std::size_t>(tet.v[kFaceOf[i][0]])]) ||
+          !on_surface(kinds_[static_cast<std::size_t>(tet.v[kFaceOf[i][1]])]) ||
+          !on_surface(kinds_[static_cast<std::size_t>(tet.v[kFaceOf[i][2]])]);
+      if (!bad_angle && !off_surface) continue;
+      const double guard = 1e-3 * opt_.delta;
+      if (distance(*hit, fa) < guard || distance(*hit, fb) < guard ||
+          distance(*hit, fc) < guard) {
+        continue;
+      }
+      return add_vertex(*hit, VertexKind::SurfaceCenter) >= 0;
+    }
+
+    if (!oracle_.inside(cs.center)) return false;
+    const double shortest =
+        shortest_edge(dt_.point(tet.v[0]), dt_.point(tet.v[1]),
+                      dt_.point(tet.v[2]), dt_.point(tet.v[3]));
+    if (shortest > 0.0 && r / shortest > opt_.rho_bound) {
+      return insert_circumcenter(cs.center);
+    }
+    if (opt_.size_fn && r > opt_.size_fn(cs.center)) {
+      return insert_circumcenter(cs.center);
+    }
+    return false;
+  }
+
+  /// Sequential baselines have no removals; instead a circumcenter landing
+  /// within δ of a surface sample is rejected (the protecting-ball style
+  /// guard restricted-Delaunay implementations use) and the encroached
+  /// surface region is split instead (Ruppert-style), locally densifying
+  /// the sample so the quality bound is still reached near ∂O. This is the
+  /// work PI2M's R6 removals save.
+  bool insert_circumcenter(const Vec3& c) {
+    if (!box_.contains(c)) return false;
+    if (iso_grid_.any_within(c, opt_.protect_factor * opt_.delta)) {
+      const auto z = oracle_.closest_surface_point(c);
+      if (z && !iso_grid_.any_within(*z, 0.45 * opt_.delta)) {
+        return add_vertex(*z, VertexKind::SurfaceCenter) >= 0;
+      }
+      return false;
+    }
+    return add_vertex(c, VertexKind::Circumcenter) >= 0;
+  }
+
+  [[nodiscard]] TetMesh extract() const {
+    TetMesh out;
+    std::map<int, std::uint32_t> remap;
+    auto map_vertex = [&](int v) {
+      auto it = remap.find(v);
+      if (it != remap.end()) return it->second;
+      const auto idx = static_cast<std::uint32_t>(out.points.size());
+      out.points.push_back(dt_.point(v));
+      out.point_kinds.push_back(kinds_[static_cast<std::size_t>(v)]);
+      remap.emplace(v, idx);
+      return idx;
+    };
+    // Label per tet index (0 = dropped).
+    std::vector<Label> keep(dt_.tets().size(), 0);
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      const auto& tet = dt_.tets()[t];
+      if (!tet.alive || has_aux(static_cast<int>(t))) continue;
+      const Circumsphere cs = circum(static_cast<int>(t));
+      if (!cs.valid) continue;
+      keep[t] = oracle_.label_at(cs.center);
+    }
+    for (std::size_t t = 0; t < dt_.tets().size(); ++t) {
+      if (keep[t] == 0) continue;
+      const auto& tet = dt_.tets()[t];
+      out.tets.push_back({map_vertex(tet.v[0]), map_vertex(tet.v[1]),
+                          map_vertex(tet.v[2]), map_vertex(tet.v[3])});
+      out.tet_labels.push_back(keep[t]);
+      for (int i = 0; i < 4; ++i) {
+        const int nb = tet.n[i];
+        const Label other = nb < 0 ? Label{0} : keep[static_cast<std::size_t>(nb)];
+        if (other >= keep[t]) continue;
+        out.boundary_tris.push_back({map_vertex(tet.v[kFaceOf[i][0]]),
+                                     map_vertex(tet.v[kFaceOf[i][1]]),
+                                     map_vertex(tet.v[kFaceOf[i][2]])});
+      }
+    }
+    return out;
+  }
+
+  SeqMesherOptions opt_;
+  IsosurfaceOracle oracle_;
+  Aabb box_;
+  LocalDelaunay dt_;
+  SpatialHashGrid iso_grid_;
+  std::vector<VertexKind> kinds_;
+  std::priority_queue<QueueEntry> queue_;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace
+
+SeqMesherResult mesh_image_reference(const LabeledImage3D& img,
+                                     const SeqMesherOptions& opt) {
+  const double t0 = now_sec();
+  SeqMesher mesher(img, opt);  // constructor computes the EDT
+  const double edt = now_sec() - t0;
+  SeqMesherResult res = mesher.run();
+  res.edt_sec = edt;
+  res.wall_sec += edt;
+  return res;
+}
+
+}  // namespace pi2m::baselines

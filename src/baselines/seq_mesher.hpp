@@ -1,0 +1,48 @@
+// Reference-style sequential isosurface Delaunay mesher — the CGAL stand-in
+// for the paper's single-threaded comparison (Table 6).
+//
+// CGAL itself is not installed in this environment (see DESIGN.md
+// "Substitutions"); this baseline implements the same algorithm class CGAL
+// Mesh_3 belongs to — sequential restricted-Delaunay refinement over a
+// labeled image with a worst-element-first priority queue and exact
+// predicates — in straightforward "reference" C++: a growing vector-based
+// triangulation (delaunay/local_dt in incremental mode), per-operation
+// container allocations, std::map face gluing, no pooling. The comparison
+// against PI2M therefore measures what the paper measures: the engineering
+// gap between an optimized concurrent implementation (run on one thread,
+// locks and all) and a clean sequential one. Absolute CGAL numbers are not
+// claimed.
+#pragma once
+
+#include "core/pi2m.hpp"
+#include "core/sizing.hpp"
+#include "imaging/isosurface.hpp"
+
+namespace pi2m::baselines {
+
+struct SeqMesherOptions {
+  double delta = 2.0;
+  double rho_bound = 2.0;
+  double min_planar_angle_deg = 30.0;
+  SizeFunction size_fn;
+  /// Circumcenters closer than protect_factor*delta to a surface sample are
+  /// rejected (and the encroached surface split instead). Without removals
+  /// this guard is what guarantees termination; small values trade
+  /// termination margin for near-surface element quality.
+  double protect_factor = 0.1;
+  std::uint64_t op_budget = std::uint64_t{1} << 28;
+};
+
+struct SeqMesherResult {
+  TetMesh mesh;
+  double wall_sec = 0.0;  ///< includes EDT (as the paper reports for PI2M)
+  double edt_sec = 0.0;
+  std::uint64_t insertions = 0;
+  bool completed = false;
+};
+
+/// Runs the reference mesher on a labeled image.
+SeqMesherResult mesh_image_reference(const LabeledImage3D& img,
+                                     const SeqMesherOptions& opt);
+
+}  // namespace pi2m::baselines

@@ -1,0 +1,86 @@
+#include "core/pi2m.hpp"
+
+#include <unordered_map>
+
+#include "geometry/tetra.hpp"
+#include "support/parallel_for.hpp"
+
+namespace pi2m {
+
+TetMesh extract_mesh(const DelaunayMesh& mesh, const IsosurfaceOracle& oracle,
+                     int threads) {
+  const std::uint32_t slots = mesh.cell_slot_count();
+
+  // Pass 1 (parallel): label of each kept cell, 0 = dropped.
+  std::vector<Label> keep(slots, 0);
+  parallel_blocks(slots, threads, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) {
+      const CellId cid = static_cast<CellId>(c);
+      if (!mesh.cell_alive(cid)) continue;
+      const auto p = mesh.positions(cid);
+      const Circumsphere cs = circumsphere(p[0], p[1], p[2], p[3]);
+      if (!cs.valid) continue;
+      keep[c] = oracle.label_at(cs.center);
+    }
+  });
+
+  // Pass 2 (sequential): compact points and emit elements + interface
+  // triangles. Faces are emitted from the side with the smaller label so
+  // each interface triangle appears once.
+  TetMesh out;
+  std::unordered_map<VertexId, std::uint32_t> remap;
+  auto map_vertex = [&](VertexId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    const auto idx = static_cast<std::uint32_t>(out.points.size());
+    out.points.push_back(mesh.vertex(v).pos);
+    out.point_kinds.push_back(mesh.vertex(v).kind);
+    remap.emplace(v, idx);
+    return idx;
+  };
+
+  for (CellId c = 0; c < slots; ++c) {
+    if (keep[c] == 0) continue;
+    const Cell& cl = mesh.cell(c);
+    out.tets.push_back({map_vertex(cl.v[0]), map_vertex(cl.v[1]),
+                        map_vertex(cl.v[2]), map_vertex(cl.v[3])});
+    out.tet_labels.push_back(keep[c]);
+    for (int i = 0; i < 4; ++i) {
+      const CellId nb = cl.n[i].load(std::memory_order_acquire);
+      const Label other = nb == kNoCell ? Label{0} : keep[nb];
+      const bool emit = other < keep[c];  // dropped or smaller-labelled side
+      if (!emit) continue;
+      out.boundary_tris.push_back({map_vertex(cl.v[kFaceOf[i][0]]),
+                                   map_vertex(cl.v[kFaceOf[i][1]]),
+                                   map_vertex(cl.v[kFaceOf[i][2]])});
+    }
+  }
+  return out;
+}
+
+RefinerOptions to_refiner_options(const MeshingOptions& opt) {
+  PI2M_CHECK(opt.delta > 0.0, "MeshingOptions::delta must be positive");
+  RefinerOptions r;
+  r.threads = opt.threads;
+  r.cm = opt.contention_manager;
+  r.lb = opt.load_balancer;
+  r.topology = opt.topology;
+  r.rules.delta = opt.delta;
+  r.rules.rho_bound = opt.radius_edge_bound;
+  r.rules.min_planar_angle_deg = opt.min_planar_angle_deg;
+  r.rules.size_fn = opt.size_function;
+  r.max_vertices = opt.max_vertices;
+  r.max_cells = opt.max_cells;
+  r.watchdog_sec = opt.watchdog_sec;
+  return r;
+}
+
+MeshingResult mesh_image(const LabeledImage3D& img, const MeshingOptions& opt) {
+  Refiner refiner(img, to_refiner_options(opt));
+  MeshingResult res;
+  res.outcome = refiner.refine();
+  res.mesh = extract_mesh(refiner.mesh(), refiner.oracle(), opt.threads);
+  return res;
+}
+
+}  // namespace pi2m

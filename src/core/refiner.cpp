@@ -1,0 +1,410 @@
+#include "core/refiner.hpp"
+
+#include <thread>
+
+#include "geometry/tetra.hpp"
+#include "support/parallel_for.hpp"
+
+namespace pi2m {
+namespace {
+
+/// The virtual box inflates the image bounds by this fraction of the
+/// diagonal so that circumcenters of near-hull elements stay insertable.
+constexpr double kBoxMarginFrac = 0.15;
+
+}  // namespace
+
+Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
+    : opt_(opt),
+      img_(&img),
+      topo_(std::max(1, opt.threads), opt.topology),
+      stats_(static_cast<std::size_t>(std::max(1, opt.threads))) {
+  opt_.threads = std::max(1, opt_.threads);
+  PI2M_CHECK(opt_.rules.delta > 0.0, "RefineRulesConfig::delta must be set");
+
+  const double t0 = now_sec();
+  const int edt_threads =
+      opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
+  oracle_ = std::make_unique<IsosurfaceOracle>(img, edt_threads);
+  edt_sec_ = now_sec() - t0;
+
+  const Aabb ib = img.bounds();
+  const Aabb box = ib.inflated(kBoxMarginFrac * norm(ib.extent()));
+  mesh_ = std::make_unique<DelaunayMesh>(box, opt_.max_vertices,
+                                         opt_.max_cells);
+
+  // Cell size = 2x query radius: a query ball overlaps at most 8 cells.
+  // (removal_factor 0 disables R6; the grid still needs a positive cell.)
+  const double delta = opt_.rules.delta;
+  iso_grid_ = std::make_unique<SpatialHashGrid>(box, 2.0 * delta);
+  cc_grid_ = std::make_unique<SpatialHashGrid>(
+      box, 2.0 * std::max(opt_.rules.removal_factor, 1.0) * delta);
+
+  lb_ = make_load_balancer(opt_.lb, topo_);
+  CmContext cm_ctx;
+  cm_ctx.done = &done_;
+  cm_ctx.idle_threads = &idle_count_;
+  cm_ctx.nthreads = opt_.threads;
+  cm_ = make_contention_manager(opt_.cm, cm_ctx);
+
+  ctxs_.reserve(static_cast<std::size_t>(opt_.threads));
+  for (int t = 0; t < opt_.threads; ++t) {
+    ctxs_.push_back(std::make_unique<ThreadCtx>());
+  }
+}
+
+void Refiner::drain_inbox(int tid) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  std::lock_guard<std::mutex> lk(ctx.inbox_mutex);
+  for (const PelEntry& e : ctx.inbox) {
+    (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+  }
+  ctx.inbox.clear();
+}
+
+bool Refiner::tag_near_surface(CellId c) const {
+  const auto p = mesh_->positions(c);
+  const Vec3 centroid = 0.25 * (p[0] + p[1] + p[2] + p[3]);
+  double reach2 = 0.0;
+  for (const Vec3& v : p) reach2 = std::max(reach2, distance2(centroid, v));
+  const double d = oracle_->surface_distance_lower_bound(centroid);
+  return d <= 2.0 * std::sqrt(reach2);
+}
+
+void Refiner::distribute_new_cells(int tid, const std::vector<CellId>& created) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  ThreadStats& st = stats_[tid];
+  st.cells_created.fetch_add(created.size(), std::memory_order_relaxed);
+
+  // All new cells become refinement candidates; classification runs once,
+  // at pop time (the paper classifies in the creator — running it in the
+  // consumer halves the oracle work at the cost of slightly chattier PELs;
+  // the classification outcome is identical).
+  ctx.new_poor.clear();
+  for (const CellId c : created) {
+    const std::uint32_t gen = mesh_->cell_gen(c);
+    if ((gen & 1u) == 0) continue;  // already re-retired by a racing thread
+    ctx.new_poor.push_back({c, gen, tag_near_surface(c)});
+  }
+  if (ctx.new_poor.empty()) return;
+
+  // Hand the fresh poor elements to a beggar when we have enough work of
+  // our own (paper §4.4's counter threshold).
+  if (static_cast<int>(ctx.pel_surface.size() + ctx.pel_volume.size()) >=
+          opt_.give_threshold &&
+      lb_->any_beggar()) {
+    StealLevel level{};
+    const int beggar = lb_->pop_beggar(tid, &level);
+    if (beggar >= 0) {
+      switch (level) {
+        case StealLevel::IntraSocket:
+          st.steals_intra_socket.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StealLevel::IntraBlade:
+          st.steals_intra_blade.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StealLevel::InterBlade:
+          st.steals_inter_blade.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      ThreadCtx& bctx = *ctxs_[beggar];
+      {
+        std::lock_guard<std::mutex> lk(bctx.inbox_mutex);
+        for (const PelEntry& e : ctx.new_poor) bctx.inbox.push_back(e);
+      }
+      outstanding_.fetch_add(static_cast<std::int64_t>(ctx.new_poor.size()),
+                             std::memory_order_acq_rel);
+      lb_->work_flag(beggar).store(true, std::memory_order_release);
+      return;
+    }
+  }
+  for (const PelEntry& e : ctx.new_poor) {
+    (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+  }
+  outstanding_.fetch_add(static_cast<std::int64_t>(ctx.new_poor.size()),
+                         std::memory_order_acq_rel);
+}
+
+void Refiner::handle_insertion(int tid, const PelEntry& e) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  ThreadStats& st = stats_[tid];
+
+  if (mesh_->cell_gen(e.cell) != e.gen) return;  // invalidated entry
+  const Classification cls =
+      classify_cell(*mesh_, e.cell, *oracle_, *iso_grid_, opt_.rules);
+  if (cls.rule == Rule::None) return;
+
+  const double t0 = now_sec();
+  // Circumcenter insertions (R2/R4/R5) skip the point-location walk: the
+  // popped cell itself conflicts with its own circumcenter, so the cavity
+  // BFS can be seeded there directly. Surface points (R1/R3) lie away from
+  // the cell and use the walking path with the cell as hint.
+  const bool is_circumcenter = cls.kind == VertexKind::Circumcenter;
+  const OpResult r =
+      is_circumcenter
+          ? insert_point_in_conflict(*mesh_, cls.point, cls.kind, e.cell,
+                                     e.gen, tid, ctx.scratch)
+          : insert_point(*mesh_, cls.point, cls.kind, e.cell, tid,
+                         ctx.scratch);
+  switch (r.status) {
+    case OpStatus::Success: {
+      st.operations.fetch_add(1, std::memory_order_relaxed);
+      st.insertions.fetch_add(1, std::memory_order_relaxed);
+      successful_ops_.fetch_add(1, std::memory_order_relaxed);
+      rule_counts_[static_cast<std::size_t>(cls.rule)].fetch_add(
+          1, std::memory_order_relaxed);
+      cm_->on_success(tid);
+
+      if (on_surface(cls.kind)) {
+        iso_grid_->insert(cls.point, r.new_vertex);
+        // R6: already-inserted circumcenters too close to the new surface
+        // vertex must go.
+        cc_grid_->collect_within(
+            cls.point, opt_.rules.removal_factor * opt_.rules.delta,
+            ctx.near_ccs);
+        for (const auto& [pos, vid] : ctx.near_ccs) {
+          ctx.removals.push_back(vid);
+          outstanding_.fetch_add(1, std::memory_order_acq_rel);
+        }
+      } else {
+        cc_grid_->insert(cls.point, r.new_vertex);
+      }
+      distribute_new_cells(tid, ctx.scratch.created);
+
+      // The triggering cell may have survived (R1/R3 insert points away
+      // from its circumsphere); re-examine it for the remaining rules.
+      if (mesh_->cell_gen(e.cell) == e.gen) {
+        (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      break;
+    }
+    case OpStatus::Conflict:
+      st.rollbacks.fetch_add(1, std::memory_order_relaxed);
+      st.add_rollback_time(now_sec() - t0);
+      (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      cm_->on_rollback(tid, r.conflicting_thread, st);
+      break;
+    case OpStatus::Stale:
+      (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      std::this_thread::yield();
+      break;
+    case OpStatus::Failed:
+      st.failed_ops.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Refiner::handle_removal(int tid, VertexId v) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  ThreadStats& st = stats_[tid];
+
+  const Vertex& vert = mesh_->vertex(v);
+  if (vert.dead.load(std::memory_order_acquire) ||
+      vert.kind != VertexKind::Circumcenter) {
+    return;  // already removed, or a stale/foreign entry
+  }
+  const Vec3 pos = vert.pos;
+
+  const double t0 = now_sec();
+  const OpResult r = remove_vertex(*mesh_, v, tid, ctx.removal_scratch);
+  switch (r.status) {
+    case OpStatus::Success:
+      st.operations.fetch_add(1, std::memory_order_relaxed);
+      st.removals.fetch_add(1, std::memory_order_relaxed);
+      successful_ops_.fetch_add(1, std::memory_order_relaxed);
+      cm_->on_success(tid);
+      cc_grid_->remove(pos, v);
+      distribute_new_cells(tid, ctx.removal_scratch.created);
+      break;
+    case OpStatus::Conflict:
+      st.rollbacks.fetch_add(1, std::memory_order_relaxed);
+      st.add_rollback_time(now_sec() - t0);
+      ctx.removals.push_back(v);
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      cm_->on_rollback(tid, r.conflicting_thread, st);
+      break;
+    case OpStatus::Stale:
+      ctx.removals.push_back(v);
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      std::this_thread::yield();
+      break;
+    case OpStatus::Failed:
+      // Degenerate ball or hull-adjacent vertex: the circumcenter stays
+      // (documented policy); drop it from the grid so R6 stops retrying.
+      cc_grid_->remove(pos, v);
+      st.failed_ops.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void Refiner::idle_protocol(int tid) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  ThreadStats& st = stats_[tid];
+
+  // Never park the system's last runnable thread while others wait in a
+  // contention list: rescue one first (see contention.hpp).
+  cm_->wake_one();
+
+  const double t0 = now_sec();
+  idle_count_.fetch_add(1, std::memory_order_acq_rel);
+  lb_->enqueue_beggar(tid);
+  std::atomic<bool>& flag = lb_->work_flag(tid);
+  while (true) {
+    if (flag.load(std::memory_order_acquire)) break;
+    if (done_.load(std::memory_order_acquire)) break;
+    {
+      std::lock_guard<std::mutex> lk(ctx.inbox_mutex);
+      if (!ctx.inbox.empty()) break;
+    }
+    // Global termination: everyone idle, nothing outstanding, nobody
+    // blocked in a contention list.
+    if (idle_count_.load(std::memory_order_acquire) == opt_.threads &&
+        outstanding_.load(std::memory_order_acquire) == 0 &&
+        cm_->blocked_count() == 0) {
+      done_.store(true, std::memory_order_release);
+      cm_->wake_all();
+      break;
+    }
+    std::this_thread::yield();
+  }
+  lb_->cancel(tid);
+  flag.store(false, std::memory_order_release);
+  idle_count_.fetch_sub(1, std::memory_order_acq_rel);
+  st.add_loadbalance(now_sec() - t0);
+  drain_inbox(tid);
+}
+
+void Refiner::worker(int tid) {
+  ThreadCtx& ctx = *ctxs_[tid];
+  while (!done_.load(std::memory_order_acquire)) {
+    if (successful_ops_.load(std::memory_order_relaxed) >= opt_.op_budget) {
+      budget_exhausted_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+      cm_->wake_all();
+      break;
+    }
+    if (!ctx.removals.empty()) {
+      const VertexId v = ctx.removals.front();
+      ctx.removals.pop_front();
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      handle_removal(tid, v);
+      continue;
+    }
+    if (ctx.pel_surface.empty() && ctx.pel_volume.empty()) drain_inbox(tid);
+    if (ctx.pel_surface.empty() && ctx.pel_volume.empty()) {
+      idle_protocol(tid);
+      continue;
+    }
+    // LIFO within each priority class: refining the most recent cells
+    // first lets local cascades retire their short-lived siblings before
+    // they are ever classified, which measurably cuts wasted oracle work
+    // versus FIFO. Surface work drains before volume work (see ThreadCtx).
+    std::deque<PelEntry>& q =
+        ctx.pel_surface.empty() ? ctx.pel_volume : ctx.pel_surface;
+    const PelEntry e = q.back();
+    q.pop_back();
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    handle_insertion(tid, e);
+  }
+}
+
+void Refiner::monitor() {
+  const double period =
+      opt_.record_timeline ? opt_.timeline_period_sec : 0.01;
+  std::uint64_t last_ops = 0;
+  double last_progress = now_sec();
+  double next_sample = start_sec_;
+
+  while (!done_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const double now = now_sec();
+    const std::uint64_t ops = successful_ops_.load(std::memory_order_relaxed);
+    if (ops != last_ops) {
+      last_ops = ops;
+      last_progress = now;
+    } else if (now - last_progress > opt_.watchdog_sec) {
+      // No operation completed anywhere for watchdog_sec: livelock (or a
+      // wedged system); abort so the caller can report it (paper Table 1).
+      livelocked_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+      cm_->wake_all();
+      break;
+    }
+    if (opt_.record_timeline && now >= next_sample) {
+      const StatsTotals t = aggregate(stats_);
+      timeline_.push_back({now - start_sec_, t.contention_sec,
+                           t.loadbalance_sec, t.rollback_sec, t.operations});
+      next_sample = now + period;
+    }
+  }
+}
+
+RefineOutcome Refiner::refine() {
+  PI2M_CHECK(!refined_, "Refiner::refine() may only run once");
+  refined_ = true;
+
+  // Seed thread 0 with the six initial cells (paper: "only the main thread
+  // might have a non-empty PEL" right after the box triangulation).
+  {
+    ThreadCtx& ctx = *ctxs_[0];
+    mesh_->for_each_alive_cell([&](CellId c) {
+      ctx.pel_surface.push_back({c, mesh_->cell_gen(c), true});
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  start_sec_ = now_sec();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(opt_.threads));
+  for (int t = 0; t < opt_.threads; ++t) {
+    pool.emplace_back([this, t] { worker(t); });
+  }
+  monitor();
+  for (std::thread& th : pool) th.join();
+  const double wall = now_sec() - start_sec_;
+
+  RefineOutcome out;
+  out.completed = !livelocked_.load() && !budget_exhausted_.load();
+  out.livelocked = livelocked_.load();
+  out.budget_exhausted = budget_exhausted_.load();
+  out.wall_sec = wall;
+  out.edt_sec = edt_sec_;
+  out.totals = aggregate(stats_);
+  out.timeline = timeline_;
+  for (std::size_t i = 0; i < rule_counts_.size(); ++i) {
+    out.rule_counts[i] = rule_counts_[i].load(std::memory_order_relaxed);
+  }
+
+  // Count alive cells and final elements (circumcenter inside O) with a
+  // parallel scan — the paper keeps incremental per-thread lists instead;
+  // a single O(#cells) pass at the end is an equivalent, simpler accounting
+  // (see DESIGN.md deviations).
+  const std::uint32_t slots = mesh_->cell_slot_count();
+  std::atomic<std::size_t> alive{0}, elems{0};
+  parallel_blocks(slots, opt_.threads, [&](std::size_t b, std::size_t e) {
+    std::size_t a = 0, m = 0;
+    for (std::size_t c = b; c < e; ++c) {
+      const CellId cid = static_cast<CellId>(c);
+      if (!mesh_->cell_alive(cid)) continue;
+      ++a;
+      const auto p = mesh_->positions(cid);
+      const Circumsphere cs = circumsphere(p[0], p[1], p[2], p[3]);
+      if (cs.valid && oracle_->inside(cs.center)) ++m;
+    }
+    alive.fetch_add(a);
+    elems.fetch_add(m);
+  });
+  out.alive_cells = alive.load();
+  out.mesh_cells = elems.load();
+  std::size_t live_vertices = 0;
+  for (VertexId v = 0; v < mesh_->vertex_count(); ++v) {
+    if (!mesh_->vertex(v).dead.load(std::memory_order_relaxed)) ++live_vertices;
+  }
+  out.vertices = live_vertices;
+  return out;
+}
+
+}  // namespace pi2m

@@ -1,0 +1,145 @@
+// The PI2M parallel Delaunay refiner (paper Algorithm 1).
+//
+// Each worker thread owns a Poor Element List (PEL) and repeatedly: pops an
+// element, re-validates and classifies it against R1-R5, speculatively
+// applies the Delaunay operation (insertion, or the R6 removals triggered
+// by surface-vertex insertions), and on success classifies the new cells —
+// handing poor ones to begging threads per the load balancer. Rollbacks go
+// through the configured contention manager. Termination is detected when
+// every thread is idle and no work is outstanding; a watchdog converts
+// global no-progress (livelock, possible under Aggressive/Random-CM) into
+// an orderly abort so benchmarks can report it (paper Table 1 "livelock").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "core/spatial_grid.hpp"
+#include "delaunay/operations.hpp"
+#include "imaging/isosurface.hpp"
+#include "runtime/contention.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/workstealing.hpp"
+
+namespace pi2m {
+
+struct RefinerOptions {
+  int threads = 1;
+  CmKind cm = CmKind::Local;
+  LbKind lb = LbKind::HWS;
+  TopologySpec topology{};
+  RefineRulesConfig rules{};
+
+  std::size_t max_vertices = std::size_t{1} << 22;
+  std::size_t max_cells = std::size_t{1} << 24;
+  /// Safety valve: abort (budget_exhausted) after this many successful
+  /// operations. Termination is expected well before (paper [7,8]).
+  std::uint64_t op_budget = std::uint64_t{1} << 40;
+  /// Declare livelock when no operation completes for this long.
+  double watchdog_sec = 20.0;
+  /// A thread only gives work when its PEL holds at least this many
+  /// elements (paper §4.4; 5 "yielded the best results").
+  int give_threshold = 5;
+
+  bool record_timeline = false;       ///< sample Figure-6 style series
+  double timeline_period_sec = 0.05;
+  int edt_threads = 0;                ///< 0 = same as `threads`
+};
+
+struct RefineOutcome {
+  bool completed = false;
+  bool livelocked = false;
+  bool budget_exhausted = false;
+  double wall_sec = 0.0;   ///< refinement only (excludes EDT)
+  double edt_sec = 0.0;    ///< preprocessing (feature transform)
+  StatsTotals totals;
+  std::vector<TimelineSample> timeline;
+  std::size_t alive_cells = 0;  ///< all cells tiling the virtual box
+  std::size_t mesh_cells = 0;   ///< elements with circumcenter inside O
+  std::size_t vertices = 0;
+  std::array<std::uint64_t, 6> rule_counts{};  ///< successful ops per rule
+};
+
+class Refiner {
+ public:
+  Refiner(const LabeledImage3D& img, RefinerOptions opt);
+
+  /// Runs refinement to completion (or livelock/budget abort). Callable
+  /// once per Refiner instance.
+  RefineOutcome refine();
+
+  [[nodiscard]] DelaunayMesh& mesh() { return *mesh_; }
+  [[nodiscard]] const DelaunayMesh& mesh() const { return *mesh_; }
+  [[nodiscard]] const IsosurfaceOracle& oracle() const { return *oracle_; }
+  [[nodiscard]] const RefinerOptions& options() const { return opt_; }
+  [[nodiscard]] const std::vector<ThreadStats>& thread_stats() const {
+    return stats_;
+  }
+
+ private:
+  struct PelEntry {
+    CellId cell;
+    std::uint32_t gen;
+    bool near_surface;  ///< scheduling tag (cheap EDT proxy, not semantic)
+  };
+
+  /// Cheap O(1) scheduling tag: true when the cell plausibly intersects
+  /// the surface neighbourhood. Mis-tags only affect processing order.
+  [[nodiscard]] bool tag_near_surface(CellId c) const;
+
+  struct alignas(64) ThreadCtx {
+    /// Two-priority PEL: cells near ∂O (fidelity rules) are refined before
+    /// interior cells (volume quality rules). Completing the local surface
+    /// sample first means far fewer circumcenters are placed prematurely
+    /// and later torn out by R6 — the paper's Phase-1 behaviour (Fig. 6).
+    std::deque<PelEntry> pel_surface;
+    std::deque<PelEntry> pel_volume;
+    std::deque<VertexId> removals;
+    std::mutex inbox_mutex;
+    std::vector<PelEntry> inbox;
+    OpScratch scratch;
+    OpScratch removal_scratch;
+    std::vector<std::pair<Vec3, VertexId>> near_ccs;  // R6 query buffer
+    std::vector<PelEntry> new_poor;                   // distribution buffer
+  };
+
+  void worker(int tid);
+  void handle_insertion(int tid, const PelEntry& e);
+  void handle_removal(int tid, VertexId v);
+  void distribute_new_cells(int tid, const std::vector<CellId>& created);
+  void idle_protocol(int tid);
+  void drain_inbox(int tid);
+  void monitor();
+
+  RefinerOptions opt_;
+  const LabeledImage3D* img_;
+  std::unique_ptr<IsosurfaceOracle> oracle_;
+  std::unique_ptr<DelaunayMesh> mesh_;
+  std::unique_ptr<SpatialHashGrid> iso_grid_;
+  std::unique_ptr<SpatialHashGrid> cc_grid_;
+  Topology topo_;
+  std::unique_ptr<LoadBalancer> lb_;
+  std::unique_ptr<ContentionManager> cm_;
+  std::vector<ThreadStats> stats_;
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+
+  std::atomic<bool> done_{false};
+  std::atomic<bool> livelocked_{false};
+  std::atomic<bool> budget_exhausted_{false};
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<int> idle_count_{0};
+  std::atomic<std::uint64_t> successful_ops_{0};
+  std::array<std::atomic<std::uint64_t>, 6> rule_counts_{};
+  double edt_sec_ = 0.0;
+  double start_sec_ = 0.0;
+  std::vector<TimelineSample> timeline_;
+  bool refined_ = false;
+};
+
+}  // namespace pi2m

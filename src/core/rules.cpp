@@ -1,0 +1,123 @@
+#include "core/rules.hpp"
+
+#include <cmath>
+
+#include "geometry/tetra.hpp"
+
+namespace pi2m {
+
+const char* to_string(Rule r) {
+  switch (r) {
+    case Rule::None: return "none";
+    case Rule::R1: return "R1";
+    case Rule::R2: return "R2";
+    case Rule::R3: return "R3";
+    case Rule::R4: return "R4";
+    case Rule::R5: return "R5";
+  }
+  return "?";
+}
+
+Classification classify_cell(const DelaunayMesh& mesh, CellId c,
+                             const IsosurfaceOracle& oracle,
+                             const SpatialHashGrid& iso_grid,
+                             const RefineRulesConfig& cfg) {
+  Classification out;
+  if (!mesh.cell_alive(c)) return out;
+
+  const Cell& cl = mesh.cell(c);
+  const auto pos = mesh.positions(c);
+
+  // Cells spanned by box vertices only exist far outside the object until
+  // the surface sample grows; they are still classified normally — their
+  // circumballs intersect ∂O early on, which is exactly what bootstraps
+  // surface recovery (paper Fig. 1b).
+  const Circumsphere cs = circumsphere(pos[0], pos[1], pos[2], pos[3]);
+  if (!cs.valid) return out;  // degenerate slivers are unrefinable directly
+  const double r = std::sqrt(cs.radius2);
+
+  // --- fidelity rules R1 / R2 -----------------------------------------
+  // O(1) EDT prefilter first: most interior/exterior elements are nowhere
+  // near ∂O and skip the ray walk entirely.
+  const bool ball_may_hit = oracle.ball_may_intersect_surface(cs.center, r);
+  if (ball_may_hit) {
+    const auto zhat = oracle.closest_surface_point(cs.center);
+    if (zhat.has_value() && distance(cs.center, *zhat) <= r) {
+      if (!iso_grid.any_within(*zhat, cfg.delta)) {
+        out.rule = Rule::R1;
+        out.point = *zhat;
+        out.kind = VertexKind::Isosurface;
+        return out;
+      }
+      if (r > 2.0 * cfg.delta) {
+        out.rule = Rule::R2;
+        out.point = cs.center;
+        out.kind = VertexKind::Circumcenter;
+        return out;
+      }
+    }
+  }
+
+  // --- boundary facet rule R3 ------------------------------------------
+  for (int i = 0; i < 4; ++i) {
+    const CellId nb = cl.n[i].load(std::memory_order_acquire);
+    if (nb == kNoCell || !mesh.cell_alive(nb)) continue;
+    const auto npos = mesh.positions(nb);
+    const Circumsphere ncs = circumsphere(npos[0], npos[1], npos[2], npos[3]);
+    if (!ncs.valid) continue;
+    // Both circumcenters lie on the face's axis, so |c(t)c(nb)| <=
+    // r(t)+r(nb) and the Voronoi edge V(f) is covered by the two
+    // circumballs: it can only cross ∂O when one of them does.
+    if (!ball_may_hit &&
+        !oracle.ball_may_intersect_surface(ncs.center,
+                                           std::sqrt(ncs.radius2))) {
+      continue;
+    }
+    if (!oracle.segment_may_intersect_surface(cs.center, ncs.center)) continue;
+    const auto hit = oracle.segment_surface_intersection(cs.center, ncs.center);
+    if (!hit.has_value()) continue;
+
+    const Vec3& fa = mesh.vertex(cl.v[kFaceOf[i][0]]).pos;
+    const Vec3& fb = mesh.vertex(cl.v[kFaceOf[i][1]]).pos;
+    const Vec3& fc = mesh.vertex(cl.v[kFaceOf[i][2]]).pos;
+    const bool bad_angle =
+        min_triangle_angle(fa, fb, fc) < cfg.min_planar_angle_deg;
+    const bool off_surface =
+        !on_surface(mesh.vertex(cl.v[kFaceOf[i][0]]).kind) ||
+        !on_surface(mesh.vertex(cl.v[kFaceOf[i][1]]).kind) ||
+        !on_surface(mesh.vertex(cl.v[kFaceOf[i][2]]).kind);
+    if (!bad_angle && !off_surface) continue;
+
+    // Degeneracy guard: a surface-center (numerically) on top of a facet
+    // vertex cannot make progress.
+    const double guard = 1e-3 * cfg.delta;
+    if (distance(*hit, fa) < guard || distance(*hit, fb) < guard ||
+        distance(*hit, fc) < guard) {
+      continue;
+    }
+    out.rule = Rule::R3;
+    out.point = *hit;
+    out.kind = VertexKind::SurfaceCenter;
+    return out;
+  }
+
+  // --- volume rules R4 / R5 ---------------------------------------------
+  if (!oracle.inside(cs.center)) return out;
+
+  const double shortest = shortest_edge(pos[0], pos[1], pos[2], pos[3]);
+  if (shortest > 0.0 && r / shortest > cfg.rho_bound) {
+    out.rule = Rule::R4;
+    out.point = cs.center;
+    out.kind = VertexKind::Circumcenter;
+    return out;
+  }
+  if (cfg.size_fn && r > cfg.size_fn(cs.center)) {
+    out.rule = Rule::R5;
+    out.point = cs.center;
+    out.kind = VertexKind::Circumcenter;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace pi2m

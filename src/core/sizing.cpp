@@ -1,0 +1,42 @@
+#include "core/sizing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pi2m::sizing {
+
+SizeFunction unconstrained() {
+  return [](const Vec3&) { return std::numeric_limits<double>::infinity(); };
+}
+
+SizeFunction uniform(double radius) {
+  return [radius](const Vec3&) { return radius; };
+}
+
+SizeFunction axis_graded(int axis, double lo_coord, double hi_coord,
+                         double radius_at_lo, double radius_at_hi) {
+  return [=](const Vec3& p) {
+    const double x = p[axis];
+    const double t =
+        std::clamp((x - lo_coord) / (hi_coord - lo_coord), 0.0, 1.0);
+    return radius_at_lo + t * (radius_at_hi - radius_at_lo);
+  };
+}
+
+SizeFunction radial(const Vec3& focus, double near_radius, double far_radius,
+                    double growth) {
+  return [=](const Vec3& p) {
+    return std::clamp(near_radius + growth * distance(p, focus), near_radius,
+                      far_radius);
+  };
+}
+
+SizeFunction per_label(const LabeledImage3D& img,
+                       std::map<Label, double> radii, double default_radius) {
+  return [&img, radii = std::move(radii), default_radius](const Vec3& p) {
+    const auto it = radii.find(img.label_at(p));
+    return it == radii.end() ? default_radius : it->second;
+  };
+}
+
+}  // namespace pi2m::sizing

@@ -1,0 +1,43 @@
+// User-specified sizing fields (paper rule R5: a tetrahedron whose
+// circumradius exceeds sf(c(t)) is refined at its circumcenter). The paper
+// highlights custom surface and volume densities as an advantage over
+// voxel-pitch-locked PLC methods (§2).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "geometry/vec3.hpp"
+#include "imaging/image3d.hpp"
+
+namespace pi2m {
+
+/// Target circumradius bound at a point; return +inf to disable locally.
+using SizeFunction = std::function<double(const Vec3&)>;
+
+namespace sizing {
+
+/// No size constraint anywhere (R5 never fires).
+SizeFunction unconstrained();
+
+/// Constant circumradius bound.
+SizeFunction uniform(double radius);
+
+/// Linear ramp along an axis between two bounds — exercises graded meshes.
+SizeFunction axis_graded(int axis, double lo_coord, double hi_coord,
+                         double radius_at_lo, double radius_at_hi);
+
+/// Finer near a focus point, coarser away from it: radius grows linearly
+/// with the distance from `focus` (clamped to [near_radius, far_radius]).
+SizeFunction radial(const Vec3& focus, double near_radius, double far_radius,
+                    double growth = 0.5);
+
+/// Per-tissue element density (paper §2: "able to satisfy both surface and
+/// volume custom element densities"): the bound at a point is looked up by
+/// the tissue label there; labels not in the map use `default_radius`.
+/// The image reference must outlive the returned function.
+SizeFunction per_label(const LabeledImage3D& img,
+                       std::map<Label, double> radii, double default_radius);
+
+}  // namespace sizing
+}  // namespace pi2m

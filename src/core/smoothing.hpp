@@ -1,0 +1,44 @@
+// Optional mesh smoothing post-pass — the paper's stated future work
+// ("mesh boundary smoothing is desirable for CFD simulations... the
+// extension of our framework to support the computationally expensive step
+// of volume-conserving smoothing in parallel is left for future work",
+// §7-§8).
+//
+// This implements quality-guarded smart-Laplacian smoothing:
+//  * interior vertices move toward the centroid of their neighbours;
+//  * surface vertices move toward the centroid of their *surface*
+//    neighbours and are re-projected onto ∂O through the oracle, so
+//    fidelity is preserved while boundary triangles relax;
+//  * every move is accepted only if no incident tetrahedron inverts and
+//    the worst local dihedral angle does not deteriorate — smoothing never
+//    trades away the quality guarantees the refiner established.
+// Passes are parallelized over vertices with an owner-computes coloring-free
+// scheme (moves are staged, conflicts resolved by acceptance re-check).
+#pragma once
+
+#include "core/pi2m.hpp"
+#include "imaging/isosurface.hpp"
+
+namespace pi2m {
+
+struct SmoothingOptions {
+  int iterations = 3;
+  double relaxation = 0.5;  ///< step fraction toward the centroid
+  bool smooth_surface = true;
+  bool smooth_interior = true;
+  int threads = 1;
+};
+
+struct SmoothingReport {
+  std::size_t moves_accepted = 0;
+  std::size_t moves_rejected = 0;
+  double min_dihedral_before = 0;
+  double min_dihedral_after = 0;
+};
+
+/// Smooths `mesh` in place. Requires the oracle the mesh was built from
+/// (for surface re-projection).
+SmoothingReport smooth_mesh(TetMesh& mesh, const IsosurfaceOracle& oracle,
+                            const SmoothingOptions& opt = {});
+
+}  // namespace pi2m

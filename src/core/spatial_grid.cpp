@@ -1,0 +1,127 @@
+#include "core/spatial_grid.hpp"
+
+#include <cmath>
+
+namespace pi2m {
+namespace {
+
+/// Mixes a packed cell key into a bucket hash (splitmix64 finalizer).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SpatialHashGrid::SpatialHashGrid(const Aabb& box, double cell_size,
+                                 std::size_t bucket_count)
+    : origin_(box.lo), cell_size_(cell_size), buckets_(bucket_count) {
+  PI2M_CHECK(cell_size > 0.0, "grid cell size must be positive");
+  PI2M_CHECK(bucket_count > 0, "grid needs at least one bucket");
+}
+
+std::int64_t SpatialHashGrid::pack_key(std::int64_t cx, std::int64_t cy,
+                                       std::int64_t cz) {
+  // 21 bits per axis (offset to keep them non-negative) pack into 63 bits.
+  const std::int64_t kOff = 1 << 20;
+  return ((cx + kOff) << 42) | ((cy + kOff) << 21) | (cz + kOff);
+}
+
+std::int64_t SpatialHashGrid::cell_key_of(const Vec3& p) const {
+  return pack_key(
+      static_cast<std::int64_t>(std::floor((p.x - origin_.x) / cell_size_)),
+      static_cast<std::int64_t>(std::floor((p.y - origin_.y) / cell_size_)),
+      static_cast<std::int64_t>(std::floor((p.z - origin_.z) / cell_size_)));
+}
+
+template <typename Fn>
+void SpatialHashGrid::for_overlapped_cells(const Vec3& p, double radius,
+                                           Fn&& fn) const {
+  const auto lo = [&](double v, double o) {
+    return static_cast<std::int64_t>(std::floor((v - radius - o) / cell_size_));
+  };
+  const auto hi = [&](double v, double o) {
+    return static_cast<std::int64_t>(std::floor((v + radius - o) / cell_size_));
+  };
+  const std::int64_t x0 = lo(p.x, origin_.x), x1 = hi(p.x, origin_.x);
+  const std::int64_t y0 = lo(p.y, origin_.y), y1 = hi(p.y, origin_.y);
+  const std::int64_t z0 = lo(p.z, origin_.z), z1 = hi(p.z, origin_.z);
+  for (std::int64_t z = z0; z <= z1; ++z) {
+    for (std::int64_t y = y0; y <= y1; ++y) {
+      for (std::int64_t x = x0; x <= x1; ++x) {
+        fn(pack_key(x, y, z));
+      }
+    }
+  }
+}
+
+std::size_t SpatialHashGrid::bucket_of(std::int64_t key) const {
+  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key)) %
+                                  buckets_.size());
+}
+
+void SpatialHashGrid::insert(const Vec3& p, VertexId v) {
+  const std::int64_t key = cell_key_of(p);
+  Bucket& b = buckets_[bucket_of(key)];
+  b.acquire();
+  b.items.push_back({p, v, key});
+  b.release();
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SpatialHashGrid::remove(const Vec3& p, VertexId v) {
+  const std::int64_t key = cell_key_of(p);
+  Bucket& b = buckets_[bucket_of(key)];
+  bool found = false;
+  b.acquire();
+  for (std::size_t i = 0; i < b.items.size(); ++i) {
+    if (b.items[i].id == v && b.items[i].cell_key == key) {
+      b.items[i] = b.items.back();
+      b.items.pop_back();
+      found = true;
+      break;
+    }
+  }
+  b.release();
+  if (found) count_.fetch_sub(1, std::memory_order_relaxed);
+  return found;
+}
+
+bool SpatialHashGrid::any_within(const Vec3& p, double radius) const {
+  const double r2 = radius * radius;
+  bool hit = false;
+  for_overlapped_cells(p, radius, [&](std::int64_t key) {
+    if (hit) return;
+    const Bucket& b = buckets_[bucket_of(key)];
+    b.acquire();
+    for (const Entry& e : b.items) {
+      if (e.cell_key == key && distance2(e.pos, p) < r2) {
+        hit = true;
+        break;
+      }
+    }
+    b.release();
+  });
+  return hit;
+}
+
+void SpatialHashGrid::collect_within(
+    const Vec3& p, double radius,
+    std::vector<std::pair<Vec3, VertexId>>& out) const {
+  out.clear();
+  const double r2 = radius * radius;
+  for_overlapped_cells(p, radius, [&](std::int64_t key) {
+    const Bucket& b = buckets_[bucket_of(key)];
+    b.acquire();
+    for (const Entry& e : b.items) {
+      if (e.cell_key == key && distance2(e.pos, p) < r2) {
+        out.emplace_back(e.pos, e.id);
+      }
+    }
+    b.release();
+  });
+}
+
+}  // namespace pi2m

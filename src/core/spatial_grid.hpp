@@ -1,0 +1,80 @@
+// Concurrent spatial hash grid over mesh vertices.
+//
+// Two instances drive the point-management rules:
+//  * the isosurface-vertex grid enforces R1's δ-packing ("z is inserted if
+//    it is at a distance not closer than δ to any other isosurface vertex");
+//  * the circumcenter grid answers R6's "all already inserted circumcenters
+//    closer than 2δ to z" queries and supports deletion.
+//
+// Buckets are hashed grid cells guarded by tiny spinlocks; queries with
+// radius <= cell_size only touch the 27 neighbouring grid cells. Distance
+// filtering makes hash collisions harmless (they only add scan work).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "support/common.hpp"
+
+namespace pi2m {
+
+class SpatialHashGrid {
+ public:
+  /// Queries visit every grid cell overlapping the query ball, so any
+  /// radius works with any `cell_size`; cell_size ~ 2x the typical query
+  /// radius touches at most 8 cells per query.
+  SpatialHashGrid(const Aabb& box, double cell_size,
+                  std::size_t bucket_count = 1u << 16);
+
+  void insert(const Vec3& p, VertexId v);
+  /// Removes (p, v) if present; returns whether it was found.
+  bool remove(const Vec3& p, VertexId v);
+
+  /// True when some stored point lies strictly within `radius` of p.
+  [[nodiscard]] bool any_within(const Vec3& p, double radius) const;
+
+  /// Collects the (position, id) pairs strictly within `radius` of p.
+  void collect_within(const Vec3& p, double radius,
+                      std::vector<std::pair<Vec3, VertexId>>& out) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+
+ private:
+  struct Entry {
+    Vec3 pos;
+    VertexId id;
+    std::int64_t cell_key;  ///< packed grid-cell coordinates
+  };
+  struct alignas(64) Bucket {
+    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<Entry> items;
+
+    void acquire() const {
+      while (lock.test_and_set(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    void release() const { lock.clear(std::memory_order_release); }
+  };
+
+  [[nodiscard]] std::int64_t cell_key_of(const Vec3& p) const;
+  [[nodiscard]] static std::int64_t pack_key(std::int64_t cx, std::int64_t cy,
+                                             std::int64_t cz);
+  [[nodiscard]] std::size_t bucket_of(std::int64_t key) const;
+  /// Invokes fn(key) for every grid cell overlapping the ball (p, radius).
+  template <typename Fn>
+  void for_overlapped_cells(const Vec3& p, double radius, Fn&& fn) const;
+
+  Vec3 origin_;
+  double cell_size_;
+  std::vector<Bucket> buckets_;
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace pi2m

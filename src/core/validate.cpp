@@ -1,0 +1,136 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "geometry/tetra.hpp"
+
+namespace pi2m {
+namespace {
+
+using FaceKey = std::array<std::uint32_t, 3>;
+using EdgeKey = std::array<std::uint32_t, 2>;
+
+FaceKey face_key(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  FaceKey k{a, b, c};
+  std::sort(k.begin(), k.end());
+  return k;
+}
+
+}  // namespace
+
+MeshValidation validate_mesh(const TetMesh& mesh) {
+  MeshValidation v;
+  auto fail = [&v](std::string msg) { v.errors.push_back(std::move(msg)); };
+
+  // --- array and index sanity ---
+  if (mesh.point_kinds.size() != mesh.points.size()) {
+    fail("point_kinds size mismatch");
+  }
+  if (mesh.tet_labels.size() != mesh.tets.size()) {
+    fail("tet_labels size mismatch");
+  }
+  const auto n = static_cast<std::uint32_t>(mesh.points.size());
+  for (const auto& t : mesh.tets) {
+    for (const std::uint32_t w : t) {
+      if (w >= n) {
+        fail("tet vertex index out of range");
+        break;
+      }
+    }
+  }
+  for (const auto& f : mesh.boundary_tris) {
+    for (const std::uint32_t w : f) {
+      if (w >= n) {
+        fail("boundary vertex index out of range");
+        break;
+      }
+    }
+  }
+  if (!v.errors.empty()) return v;  // indices unusable below
+
+  // --- element sanity ---
+  for (std::size_t i = 0; i < mesh.tets.size(); ++i) {
+    const auto& t = mesh.tets[i];
+    const double vol =
+        signed_volume(mesh.points[t[0]], mesh.points[t[1]], mesh.points[t[2]],
+                      mesh.points[t[3]]);
+    if (std::fabs(vol) <= 0.0) fail("zero-volume tetrahedron");
+    if (i < mesh.tet_labels.size() && mesh.tet_labels[i] == 0) {
+      fail("element with background label");
+    }
+  }
+
+  // --- face conformity ---
+  std::map<FaceKey, int> face_count;
+  for (const auto& t : mesh.tets) {
+    constexpr int f[4][3] = {{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}};
+    for (const auto& fi : f) {
+      ++face_count[face_key(t[fi[0]], t[fi[1]], t[fi[2]])];
+    }
+  }
+  std::map<FaceKey, int> boundary_faces;
+  for (const auto& b : mesh.boundary_tris) {
+    ++boundary_faces[face_key(b[0], b[1], b[2])];
+  }
+  for (const auto& [k, c] : boundary_faces) {
+    if (c > 1) fail("duplicate boundary triangle");
+    if (face_count.find(k) == face_count.end()) {
+      fail("boundary triangle is not a face of any element");
+    }
+  }
+  for (const auto& [k, c] : face_count) {
+    if (c > 2) {
+      fail("face shared by more than two elements");
+    } else if (c == 1 && boundary_faces.find(k) == boundary_faces.end()) {
+      fail("exposed face missing from boundary_tris");
+    }
+  }
+
+  // --- boundary edge manifoldness (informational) ---
+  std::map<EdgeKey, int> edge_count;
+  for (const auto& b : mesh.boundary_tris) {
+    for (int i = 0; i < 3; ++i) {
+      EdgeKey e{b[i], b[(i + 1) % 3]};
+      if (e[0] > e[1]) std::swap(e[0], e[1]);
+      ++edge_count[e];
+    }
+  }
+  for (const auto& [e, c] : edge_count) {
+    if (c != 2) ++v.boundary_edges_nonmanifold;
+  }
+
+  // --- connected components of the element graph (via shared faces) ---
+  if (!mesh.tets.empty()) {
+    std::map<FaceKey, std::uint32_t> first_owner;
+    std::vector<std::uint32_t> parent(mesh.tets.size());
+    for (std::uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    std::function<std::uint32_t(std::uint32_t)> find =
+        [&](std::uint32_t x) -> std::uint32_t {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (std::uint32_t ti = 0; ti < mesh.tets.size(); ++ti) {
+      const auto& t = mesh.tets[ti];
+      constexpr int f[4][3] = {{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}};
+      for (const auto& fi : f) {
+        const FaceKey k = face_key(t[fi[0]], t[fi[1]], t[fi[2]]);
+        const auto [it, fresh] = first_owner.emplace(k, ti);
+        if (!fresh) parent[find(ti)] = find(it->second);
+      }
+    }
+    for (std::uint32_t i = 0; i < parent.size(); ++i) {
+      if (find(i) == i) ++v.connected_components;
+    }
+  }
+
+  v.ok = v.errors.empty();
+  return v;
+}
+
+}  // namespace pi2m

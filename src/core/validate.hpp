@@ -1,0 +1,34 @@
+// Structural validation of extracted meshes — the checks a downstream FE
+// user runs before trusting a mesh. Complements DelaunayMesh's internal
+// invariant checks (which operate on the live triangulation) by validating
+// the exported value type.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pi2m.hpp"
+
+namespace pi2m {
+
+struct MeshValidation {
+  bool ok = false;
+  std::vector<std::string> errors;  ///< empty when ok
+
+  // Informational:
+  std::size_t connected_components = 0;
+  std::size_t boundary_edges_nonmanifold = 0;
+};
+
+/// Checks:
+///  * index ranges and parallel-array sizes;
+///  * every tetrahedron has nonzero volume and a nonzero label;
+///  * face conformity: every interior face is shared by exactly 2 tets and
+///    every tet face is either interior or listed in boundary_tris;
+///  * boundary edge manifoldness (each boundary edge on exactly 2 boundary
+///    triangles), reported but not fatal (multi-material junction lines
+///    legitimately have >2);
+///  * counts connected components of the element graph.
+MeshValidation validate_mesh(const TetMesh& mesh);
+
+}  // namespace pi2m

@@ -1,0 +1,242 @@
+#include <algorithm>
+
+#include "delaunay/operations.hpp"
+#include "predicates/predicates.hpp"
+
+namespace pi2m {
+namespace {
+
+/// Locks a vertex, recording newly acquired locks in scratch for rollback.
+/// Returns false (filling `held_by`) when another thread owns it.
+bool lock_vertex(DelaunayMesh& mesh, VertexId v, int tid, OpScratch& s,
+                 std::int32_t& held_by) {
+  if (mesh.vertex(v).owner.load(std::memory_order_relaxed) == tid) return true;
+  if (!mesh.try_lock_vertex(v, tid, held_by)) return false;
+  s.locked.push_back(v);
+  return true;
+}
+
+void unlock_all(DelaunayMesh& mesh, int tid, OpScratch& s) {
+  for (VertexId v : s.locked) mesh.unlock_vertex(v, tid);
+  s.locked.clear();
+}
+
+bool lock_cell_vertices(DelaunayMesh& mesh, CellId c, int tid, OpScratch& s,
+                        std::int32_t& held_by) {
+  const Cell& cl = mesh.cell(c);
+  for (int i = 0; i < 4; ++i) {
+    if (!lock_vertex(mesh, cl.v[i], tid, s, held_by)) return false;
+  }
+  return true;
+}
+
+bool contains_id(const std::vector<CellId>& v, CellId c) {
+  return std::find(v.begin(), v.end(), c) != v.end();
+}
+
+int insphere_cell(const DelaunayMesh& mesh, CellId c, const Vec3& p) {
+  const auto pos = mesh.positions(c);
+  return insphere(pos[0], pos[1], pos[2], pos[3], p);
+}
+
+/// Grows the conflict cavity from the locked, alive, conflicting cell `c0`,
+/// validates it, and commits the Bowyer-Watson retriangulation. Assumes
+/// c0's vertices are already locked and insphere(c0, p) > 0.
+OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
+                         CellId c0, int tid, OpScratch& s) {
+  OpResult res;
+  s.cavity.push_back(c0);
+  s.bfs.push_back(c0);
+  while (!s.bfs.empty()) {
+    const CellId c = s.bfs.back();
+    s.bfs.pop_back();
+    const Cell& cl = mesh.cell(c);
+    for (int i = 0; i < 4; ++i) {
+      const CellId nb = cl.n[i].load(std::memory_order_acquire);
+      const VertexId fa = cl.v[kFaceOf[i][0]];
+      const VertexId fb = cl.v[kFaceOf[i][1]];
+      const VertexId fc = cl.v[kFaceOf[i][2]];
+      if (nb == kNoCell) {
+        s.bfaces.push_back({c, i, kNoCell, fa, fb, fc});
+        continue;
+      }
+      if (contains_id(s.cavity, nb)) continue;
+      if (contains_id(s.outside, nb)) {
+        s.bfaces.push_back({c, i, nb, fa, fb, fc});
+        continue;
+      }
+      std::int32_t held_by = -1;
+      if (!lock_cell_vertices(mesh, nb, tid, s, held_by)) {
+        unlock_all(mesh, tid, s);
+        res.status = OpStatus::Conflict;
+        res.conflicting_thread = held_by;
+        return res;
+      }
+      PI2M_CHECK(mesh.cell_alive(nb),
+                 "neighbour of a locked cell died (locking protocol bug)");
+      if (insphere_cell(mesh, nb, p) > 0) {
+        s.cavity.push_back(nb);
+        s.bfs.push_back(nb);
+      } else {
+        s.outside.push_back(nb);
+        s.bfaces.push_back({c, i, nb, fa, fb, fc});
+      }
+    }
+  }
+
+  // Validate: every new tetrahedron must be positively oriented, i.e. the
+  // cavity is star-shaped around p.
+  for (const OpScratch::BFace& bf : s.bfaces) {
+    if (orient3d(mesh.vertex(bf.a).pos, mesh.vertex(bf.b).pos,
+                 mesh.vertex(bf.c).pos, p) <= 0) {
+      unlock_all(mesh, tid, s);
+      res.status = OpStatus::Failed;  // p degenerate against cavity boundary
+      return res;
+    }
+  }
+
+  // --- commit ---
+  const VertexId pv = mesh.create_vertex(p, kind, tid);  // born locked
+  s.locked.push_back(pv);
+
+  for (const OpScratch::BFace& bf : s.bfaces) {
+    const CellId nc = mesh.allocate_cell(s.freelist);
+    Cell& cl = mesh.cell(nc);
+    cl.v = {bf.a, bf.b, bf.c, pv};
+    cl.n[3].store(bf.outside, std::memory_order_release);
+    if (bf.outside != kNoCell) {
+      const int j = mesh.face_index_of(bf.outside, bf.a, bf.b, bf.c);
+      PI2M_CHECK(j >= 0, "cavity boundary face missing from outside cell");
+      mesh.cell(bf.outside).n[j].store(nc, std::memory_order_release);
+    }
+    // Internal gluing: new-cell face k (k<3) lies on edge (base minus k) + p.
+    const std::array<VertexId, 3> base{bf.a, bf.b, bf.c};
+    for (int k = 0; k < 3; ++k) {
+      VertexId u = base[(k + 1) % 3], v = base[(k + 2) % 3];
+      if (u > v) std::swap(u, v);
+      bool linked = false;
+      for (const OpScratch::EdgeSlot& e : s.edgemap) {
+        if (e.u == u && e.v == v) {
+          cl.n[k].store(e.cell, std::memory_order_release);
+          mesh.cell(e.cell).n[e.face].store(nc, std::memory_order_release);
+          linked = true;
+          break;
+        }
+      }
+      if (!linked) s.edgemap.push_back({u, v, nc, k});
+    }
+    for (VertexId v : {bf.a, bf.b, bf.c, pv}) {
+      mesh.vertex(v).incident_hint.store(nc, std::memory_order_relaxed);
+    }
+    s.created.push_back(nc);
+  }
+
+  for (const CellId c : s.cavity) mesh.retire_cell(c, s.freelist);
+  unlock_all(mesh, tid, s);
+
+  res.status = OpStatus::Success;
+  res.new_vertex = pv;
+  return res;
+}
+
+}  // namespace
+
+OpResult insert_point(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
+                      CellId hint, int tid, OpScratch& s) {
+  s.reset();
+  OpResult res;
+  if (!mesh.box().contains(p)) {
+    res.status = OpStatus::Failed;
+    return res;
+  }
+
+  // --- locate and pin the target cell ---
+  CellId c0 = kNoCell;
+  CellId start = hint;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    LocateResult loc = locate_point(mesh, p, start);
+    if (!loc.ok) {
+      // The hint died (or the walk was disrupted); restart from any alive
+      // cell once per attempt.
+      loc = locate_point(mesh, p, any_alive_cell(mesh, start));
+      if (!loc.ok) {
+        res.status = OpStatus::Stale;
+        return res;
+      }
+    }
+    std::int32_t held_by = -1;
+    if (!lock_cell_vertices(mesh, loc.cell, tid, s, held_by)) {
+      unlock_all(mesh, tid, s);
+      res.status = OpStatus::Conflict;
+      res.conflicting_thread = held_by;
+      return res;
+    }
+    if (!mesh.cell_alive(loc.cell)) {
+      // The cell died between the walk and the lock; re-walk.
+      unlock_all(mesh, tid, s);
+      start = hint;
+      continue;
+    }
+    // Containment re-check under locks (the unlocked walk is best-effort).
+    const auto pos = mesh.positions(loc.cell);
+    bool inside_cell = true;
+    for (int i = 0; i < 4 && inside_cell; ++i) {
+      if (orient3d(pos[kFaceOf[i][0]], pos[kFaceOf[i][1]], pos[kFaceOf[i][2]],
+                   p) < 0) {
+        inside_cell = false;
+      }
+    }
+    if (!inside_cell) {
+      unlock_all(mesh, tid, s);
+      start = hint;
+      continue;
+    }
+    c0 = loc.cell;
+    break;
+  }
+  if (c0 == kNoCell) {
+    res.status = OpStatus::Stale;
+    return res;
+  }
+
+  if (insphere_cell(mesh, c0, p) <= 0) {
+    // p coincides with (or is cospherical-degenerate against) an existing
+    // vertex of the containing cell: nothing sensible to insert.
+    unlock_all(mesh, tid, s);
+    res.status = OpStatus::Failed;
+    return res;
+  }
+  return grow_and_commit(mesh, p, kind, c0, tid, s);
+}
+
+OpResult insert_point_in_conflict(DelaunayMesh& mesh, const Vec3& p,
+                                  VertexKind kind, CellId conflict,
+                                  std::uint32_t conflict_gen, int tid,
+                                  OpScratch& s) {
+  s.reset();
+  OpResult res;
+  if (!mesh.box().contains(p)) {
+    res.status = OpStatus::Failed;
+    return res;
+  }
+  std::int32_t held_by = -1;
+  if (!lock_cell_vertices(mesh, conflict, tid, s, held_by)) {
+    unlock_all(mesh, tid, s);
+    res.status = OpStatus::Conflict;
+    res.conflicting_thread = held_by;
+    return res;
+  }
+  if (mesh.cell_gen(conflict) != conflict_gen) {
+    unlock_all(mesh, tid, s);
+    res.status = OpStatus::Stale;  // the cell changed under the caller
+    return res;
+  }
+  if (insphere_cell(mesh, conflict, p) <= 0) {
+    unlock_all(mesh, tid, s);
+    res.status = OpStatus::Failed;  // caller's conflict claim was wrong
+    return res;
+  }
+  return grow_and_commit(mesh, p, kind, conflict, tid, s);
+}
+
+}  // namespace pi2m

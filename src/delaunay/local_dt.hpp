@@ -1,0 +1,89 @@
+// Small sequential incremental Delaunay triangulation, used to re-triangulate
+// the ball of a removed vertex (paper §4.2): "we compute a local Delaunay
+// triangulation D_B of the vertices incident to p, such that the vertices
+// inserted earlier in the shared triangulation are inserted into D_B first."
+//
+// Points are inserted in caller order inside a large bounding tetrahedron of
+// four auxiliary vertices (indices 0..3); caller point i becomes index 4+i.
+// The same exact predicates and the same on-sphere tie rule as the global
+// mesh are used, so in non-degenerate configurations the restriction of D_B
+// to the ball cavity matches the global Delaunay structure exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+
+namespace pi2m {
+
+class LocalDelaunay {
+ public:
+  struct Tet {
+    std::array<int, 4> v;
+    std::array<int, 4> n;  ///< -1 past the auxiliary hull
+    bool alive = false;
+  };
+
+  /// Builds the triangulation of `pts` (inserted in the given order).
+  /// Check ok() before using the result.
+  explicit LocalDelaunay(const std::vector<Vec3>& pts);
+
+  /// Starts an *empty* triangulation whose auxiliary tetrahedron encloses
+  /// `bounds`; points are then added with add_point. This incremental mode
+  /// is the kernel of the reference sequential meshers (baselines/), which
+  /// deliberately use this simple vector-based structure instead of the
+  /// concurrent arena mesh.
+  explicit LocalDelaunay(const Aabb& bounds);
+
+  /// Inserts one point; returns its vertex index, or -1 when the insertion
+  /// is degenerate (duplicate / cospherical tie at the located cell).
+  /// In incremental mode the triangulation stays valid after a failure.
+  int add_point(const Vec3& p);
+
+  LocalDelaunay() = default;
+  /// Re-initializes this instance with a new point set, reusing all
+  /// internal storage — the removal hot path keeps one instance per thread
+  /// instead of reallocating per ball (paper: removals are ~2% of ops but
+  /// each one re-triangulates a ~25-vertex ball).
+  void rebuild(const std::vector<Vec3>& pts);
+
+  /// Indices of the tets created by the last successful add_point.
+  [[nodiscard]] const std::vector<int>& last_created() const {
+    return last_created_;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::vector<Tet>& tets() const { return tets_; }
+  [[nodiscard]] const Vec3& point(int i) const {
+    return pts_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] static bool is_aux(int vertex_index) {
+    return vertex_index < 4;
+  }
+
+  /// Index of an alive tet whose face {a,b,c} (caller point indices, i.e.
+  /// already offset by +4) has its fourth vertex on the positive side of
+  /// the oriented face (a,b,c); -1 if none.
+  [[nodiscard]] int find_tet_with_face(int a, int b, int c) const;
+
+ private:
+  struct BFace {
+    int a, b, c, outside;
+  };
+
+  void init_bounding_tet(const Vec3& center, double half_diag);
+  bool insert(int pi);
+  [[nodiscard]] int locate(const Vec3& p) const;
+
+  std::vector<Vec3> pts_;
+  std::vector<Tet> tets_;
+  std::vector<int> last_created_;
+  // Reused per-insert scratch (hot path for removal re-triangulation).
+  std::vector<int> cavity_, stack_;
+  std::vector<BFace> bfaces_;
+  bool ok_ = false;
+};
+
+}  // namespace pi2m

@@ -1,0 +1,74 @@
+#include <array>
+
+#include "delaunay/operations.hpp"
+#include "predicates/predicates.hpp"
+
+namespace pi2m {
+
+CellId any_alive_cell(const DelaunayMesh& mesh, CellId near_hint) {
+  const std::uint32_t n = mesh.cell_slot_count();
+  if (n == 0) return kNoCell;
+  const CellId start = near_hint < n ? near_hint : 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const CellId c = (start + k) % n;
+    if (mesh.cell_alive(c)) return c;
+  }
+  return kNoCell;
+}
+
+LocateResult locate_point(const DelaunayMesh& mesh, const Vec3& p, CellId hint,
+                          int max_steps) {
+  LocateResult out;
+  if (hint == kNoCell || hint >= mesh.cell_slot_count()) return out;
+
+  CellId c = hint;
+  // Rotating the face scan start index implements the classic "remembering"
+  // walk tie-break that avoids 2-cycles on degenerate inputs.
+  int spin = 0;
+  for (int step = 0; step < max_steps; ++step) {
+    // Snapshot the cell under generation re-check: concurrent retirement or
+    // slot reuse during the unlocked walk is detected, not trusted.
+    const std::uint32_t g1 = mesh.cell_gen(c);
+    if ((g1 & 1u) == 0) return out;  // dead cell: walk disrupted
+    const Cell& cl = mesh.cell(c);
+    const std::array<VertexId, 4> vs = cl.v;
+    std::array<CellId, 4> ns;
+    for (int i = 0; i < 4; ++i) ns[i] = cl.n[i].load(std::memory_order_acquire);
+    if (mesh.cell_gen(c) != g1) continue;  // torn snapshot; re-read same slot
+
+    const std::uint32_t vcount = mesh.vertex_count();
+    bool bad = false;
+    std::array<Vec3, 4> pos;
+    for (int i = 0; i < 4; ++i) {
+      if (vs[i] >= vcount) {
+        bad = true;
+        break;
+      }
+      pos[i] = mesh.vertex(vs[i]).pos;
+    }
+    if (bad) return out;
+
+    bool moved = false;
+    for (int k = 0; k < 4 && !moved; ++k) {
+      const int i = (k + spin) & 3;
+      const Vec3& a = pos[kFaceOf[i][0]];
+      const Vec3& b = pos[kFaceOf[i][1]];
+      const Vec3& cc = pos[kFaceOf[i][2]];
+      if (orient3d(a, b, cc, p) < 0) {
+        const CellId nb = ns[i];
+        if (nb == kNoCell) return out;  // walked out of the virtual box
+        c = nb;
+        ++spin;
+        moved = true;
+      }
+    }
+    if (!moved) {
+      out.cell = c;
+      out.ok = true;
+      return out;
+    }
+  }
+  return out;  // step limit: heavy churn, let the caller retry
+}
+
+}  // namespace pi2m

@@ -1,0 +1,221 @@
+// Concurrent tetrahedral mesh storage for speculative Delaunay refinement.
+//
+// Design (paper §4):
+//  * Vertices and cells live in chunked arenas that never move or free
+//    memory while the mesh is alive, so concurrent readers never touch
+//    freed storage.
+//  * Every vertex carries an atomic owner word used as a try-lock; the
+//    paper replaces pthread try-locks with GCC atomic built-ins — here we
+//    use std::atomic compare-exchange, which compiles to the same
+//    instructions.
+//  * Cells carry a generation word: odd = alive, even = retired. A retired
+//    cell slot may be recycled; stale references (PEL entries, walk steps)
+//    detect recycling by comparing generations.
+//
+// Locking protocol invariants (relied on throughout insert/remove):
+//  I1. Retiring a cell requires holding all 4 of its vertices.
+//  I2. Writing a cell's neighbour slot n[i] requires holding the 3 vertices
+//      of face i.
+//  I3. Therefore: holding any vertex of a live cell keeps it alive, and
+//      holding a face keeps the adjacency across that face stable.
+//  Vertex positions are immutable after creation; vertex slots are never
+//  recycled (removed vertices are only marked dead — removals are ~2% of
+//  operations (paper §7), so the leaked slots are negligible).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "support/common.hpp"
+
+namespace pi2m {
+
+enum class VertexKind : std::uint8_t {
+  Box,            ///< virtual-box corner (never refined, never on ∂O)
+  Isosurface,     ///< rule R1 sample point on ∂O
+  SurfaceCenter,  ///< rule R3 Voronoi-edge/∂O intersection (also on ∂O)
+  Circumcenter,   ///< rules R2/R4/R5 Steiner point (removable by R6)
+};
+
+/// True for vertex kinds that lie on the isosurface and participate in the
+/// fidelity guarantees (Theorem 1).
+constexpr bool on_surface(VertexKind k) {
+  return k == VertexKind::Isosurface || k == VertexKind::SurfaceCenter;
+}
+
+struct Vertex {
+  Vec3 pos;
+  std::atomic<std::int32_t> owner{-1};   ///< locking thread id, -1 = free
+  std::atomic<CellId> incident_hint{kNoCell};  ///< some cell touching this vertex
+  std::uint32_t timestamp = 0;  ///< global creation order (removal re-insertion order)
+  VertexKind kind = VertexKind::Box;
+  std::atomic<bool> dead{false};
+};
+
+struct Cell {
+  std::array<VertexId, 4> v{kNoVertex, kNoVertex, kNoVertex, kNoVertex};
+  /// n[i] is the cell across the face opposite v[i]; kNoCell on the hull of
+  /// the virtual box.
+  std::array<std::atomic<CellId>, 4> n{kNoCell, kNoCell, kNoCell, kNoCell};
+  /// Odd = alive. Incremented on retire and again on reuse.
+  std::atomic<std::uint32_t> gen{0};
+};
+
+/// Vertex triple of face i of a positively-oriented cell (v0,v1,v2,v3),
+/// ordered so that orient3d(face, v[i]) > 0 (the opposite vertex sees the
+/// face counterclockwise).
+constexpr std::array<std::array<int, 3>, 4> kFaceOf{{
+    {1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}}};
+
+/// Append-only chunked arena with stable addresses and lock-free growth.
+template <typename T>
+class ChunkedStore {
+ public:
+  static constexpr std::size_t kChunkBits = 14;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  explicit ChunkedStore(std::size_t max_elems)
+      : chunks_((max_elems + kChunkSize - 1) / kChunkSize + 1),
+        max_elems_(max_elems) {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+  ~ChunkedStore() {
+    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+  }
+  ChunkedStore(const ChunkedStore&) = delete;
+  ChunkedStore& operator=(const ChunkedStore&) = delete;
+
+  /// Allocates one default-constructed element; thread-safe.
+  std::uint32_t allocate() {
+    const std::uint32_t id = count_.fetch_add(1, std::memory_order_relaxed);
+    PI2M_CHECK(id < max_elems_, "arena capacity exceeded (raise MeshingOptions limits)");
+    ensure_chunk(id >> kChunkBits);
+    return id;
+  }
+
+  T& operator[](std::uint32_t id) {
+    return chunk(id >> kChunkBits)[id & (kChunkSize - 1)];
+  }
+  const T& operator[](std::uint32_t id) const {
+    return chunk(id >> kChunkBits)[id & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] std::uint32_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return max_elems_; }
+
+ private:
+  T* chunk(std::size_t ci) const {
+    return chunks_[ci].load(std::memory_order_acquire);
+  }
+  void ensure_chunk(std::size_t ci) {
+    if (chunks_[ci].load(std::memory_order_acquire) != nullptr) return;
+    T* fresh = new T[kChunkSize];
+    T* expected = nullptr;
+    if (!chunks_[ci].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel)) {
+      delete[] fresh;  // another thread won the race
+    }
+  }
+
+  mutable std::vector<std::atomic<T*>> chunks_;
+  std::atomic<std::uint32_t> count_{0};
+  std::size_t max_elems_;
+};
+
+/// Per-thread recycling pool for retired cell slots.
+struct CellFreeList {
+  std::vector<CellId> slots;
+};
+
+class DelaunayMesh {
+ public:
+  /// Builds the virtual box enclosing `box`, triangulated into 6 tetrahedra
+  /// (paper Fig. 1a) — the only sequential step of the algorithm.
+  DelaunayMesh(const Aabb& box, std::size_t max_vertices,
+               std::size_t max_cells);
+
+  [[nodiscard]] const Aabb& box() const { return box_; }
+
+  // ---- vertices ----
+  Vertex& vertex(VertexId v) { return vertices_[v]; }
+  [[nodiscard]] const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  [[nodiscard]] std::uint32_t vertex_count() const { return vertices_.size(); }
+  [[nodiscard]] const std::array<VertexId, 8>& box_vertices() const {
+    return box_vertices_;
+  }
+
+  /// Creates a vertex (timestamped with the global creation counter) that is
+  /// born locked by `tid`.
+  VertexId create_vertex(const Vec3& pos, VertexKind kind, int tid);
+
+  /// Try-lock. Succeeds immediately when `tid` already owns the vertex.
+  /// On failure stores the observed owner in `held_by`.
+  bool try_lock_vertex(VertexId v, int tid, std::int32_t& held_by);
+  void unlock_vertex(VertexId v, int tid);
+
+  // ---- cells ----
+  Cell& cell(CellId c) { return cells_[c]; }
+  [[nodiscard]] const Cell& cell(CellId c) const { return cells_[c]; }
+  [[nodiscard]] std::uint32_t cell_slot_count() const { return cells_.size(); }
+
+  [[nodiscard]] bool cell_alive(CellId c) const {
+    return (cells_[c].gen.load(std::memory_order_acquire) & 1u) != 0;
+  }
+  [[nodiscard]] std::uint32_t cell_gen(CellId c) const {
+    return cells_[c].gen.load(std::memory_order_acquire);
+  }
+
+  /// Allocates a cell slot (recycled or fresh) and marks it alive.
+  CellId allocate_cell(CellFreeList& fl);
+  /// Retires an alive cell (caller holds all 4 vertices, invariant I1).
+  void retire_cell(CellId c, CellFreeList& fl);
+
+  /// Convenience for readers: the four vertex positions of a cell. Caller
+  /// must guarantee the cell is stable (holds a vertex of it) or tolerate
+  /// a torn read detected via generation re-check.
+  [[nodiscard]] std::array<Vec3, 4> positions(CellId c) const;
+
+  /// Number of alive cells (linear scan; used by tests/statistics only).
+  [[nodiscard]] std::size_t count_alive_cells() const;
+
+  /// Walks all alive cells, calling fn(CellId). Only valid when no thread
+  /// is mutating the mesh.
+  template <typename Fn>
+  void for_each_alive_cell(Fn&& fn) const {
+    const std::uint32_t n = cells_.size();
+    for (CellId c = 0; c < n; ++c) {
+      if (cell_alive(c)) fn(c);
+    }
+  }
+
+  /// Face index of `c` whose three vertices are exactly {a,b,c} (any
+  /// order); -1 when no such face exists.
+  [[nodiscard]] int face_index_of(CellId c, VertexId fa, VertexId fb,
+                                  VertexId fc) const;
+
+  // ---- integrity checks (tests) ----
+  /// Verifies adjacency symmetry, positive orientation, and (optionally)
+  /// the Delaunay property for all alive cells. Returns an error string,
+  /// empty on success. Quadratic-ish; call on small meshes only.
+  [[nodiscard]] std::string check_integrity(bool check_delaunay) const;
+
+  /// Sum of cell volumes (should equal the virtual box volume at all times).
+  [[nodiscard]] double total_volume() const;
+
+ private:
+  void build_initial_box();
+
+  Aabb box_;
+  ChunkedStore<Vertex> vertices_;
+  ChunkedStore<Cell> cells_;
+  std::array<VertexId, 8> box_vertices_{};
+  std::atomic<std::uint32_t> next_timestamp_{0};
+};
+
+}  // namespace pi2m

@@ -1,0 +1,113 @@
+// Speculative Delaunay operations: point location, Bowyer-Watson insertion
+// and vertex removal, with per-vertex try-locks and rollback (paper §4.2).
+//
+// Both operations are *all-or-nothing*: they acquire every vertex they touch
+// up front, validate the full change, and only then mutate the mesh. A lock
+// failure produces OpStatus::Conflict and leaves the mesh untouched — the
+// rollback the paper describes ("the operation is stopped and the changes
+// are discarded").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+
+namespace pi2m {
+
+enum class OpStatus : std::uint8_t {
+  Success,   ///< mesh mutated, new cells reported
+  Conflict,  ///< a vertex was held by another thread; nothing changed
+  Stale,     ///< transient inconsistency (concurrent restructuring); retry
+  Failed,    ///< operation is permanently inapplicable (duplicate point,
+             ///< degenerate configuration, point outside the box)
+};
+
+struct OpResult {
+  OpStatus status = OpStatus::Failed;
+  std::int32_t conflicting_thread = -1;  ///< valid when status == Conflict
+  VertexId new_vertex = kNoVertex;       ///< valid for successful insertions
+};
+
+/// Reusable per-thread scratch buffers so the hot path never allocates.
+/// Membership tests are linear scans over small vectors: conflict cavities
+/// average 15-30 cells, where a scan beats any hash container (and clears
+/// in O(size), not O(buckets)).
+///
+/// A scratch is bound to ONE mesh for its lifetime: its `freelist` holds
+/// retired cell slots of that mesh, and reusing the scratch against a
+/// different mesh would hand out foreign slot ids.
+struct OpScratch {
+  std::vector<VertexId> locked;
+  std::vector<CellId> cavity;
+  std::vector<CellId> outside;
+  std::vector<CellId> bfs;
+  struct BFace {
+    CellId inside;
+    int face;
+    CellId outside;
+    VertexId a, b, c;  ///< ordered so orient3d(a,b,c, interior point) > 0
+  };
+  std::vector<BFace> bfaces;
+  std::vector<CellId> created;  ///< output of the last successful operation
+  struct EdgeSlot {
+    VertexId u, v;
+    CellId cell;
+    int face;
+  };
+  std::vector<EdgeSlot> edgemap;  ///< open boundary edges during re-fill
+  CellFreeList freelist;
+
+  void reset() {
+    locked.clear();
+    cavity.clear();
+    outside.clear();
+    bfs.clear();
+    bfaces.clear();
+    created.clear();
+    edgemap.clear();
+  }
+};
+
+struct LocateResult {
+  CellId cell = kNoCell;
+  bool ok = false;
+};
+
+/// Best-effort lock-free walk from `hint` to an alive cell containing `p`.
+/// The result must be re-validated under locks by the caller; `ok == false`
+/// means the walk was disrupted (dead hint, concurrent restructuring, or
+/// step limit).
+LocateResult locate_point(const DelaunayMesh& mesh, const Vec3& p, CellId hint,
+                          int max_steps = 8192);
+
+/// Scans cell slots starting at `near_hint` (wrapping) for any alive cell;
+/// used to restart a walk whose hint died. kNoCell when the mesh has no
+/// alive cells (never happens for a constructed mesh).
+CellId any_alive_cell(const DelaunayMesh& mesh, CellId near_hint);
+
+/// Inserts `p` into the triangulation (Bowyer-Watson over the conflict
+/// cavity). On success `scratch.created` holds the new cells.
+OpResult insert_point(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
+                      CellId hint, int tid, OpScratch& scratch);
+
+/// Fast path for refinement: inserts `p` given a cell known to conflict
+/// with it (e.g. the bad cell whose circumcenter p is — a tetrahedron's
+/// circumcenter always lies inside its own circumsphere). Skips the point-
+/// location walk entirely: the cavity BFS is seeded at `conflict` and the
+/// star-shape validation of the cavity boundary guarantees correctness.
+/// `conflict_gen` is the caller's generation snapshot of the cell.
+OpResult insert_point_in_conflict(DelaunayMesh& mesh, const Vec3& p,
+                                  VertexKind kind, CellId conflict,
+                                  std::uint32_t conflict_gen, int tid,
+                                  OpScratch& scratch);
+
+/// Removes vertex `p` by re-triangulating its ball with a local Delaunay
+/// triangulation of the link, inserting older (smaller-timestamp) vertices
+/// first (paper §4.2). On success `scratch.created` holds the new cells.
+OpResult remove_vertex(DelaunayMesh& mesh, VertexId p, int tid,
+                       OpScratch& scratch);
+
+}  // namespace pi2m

@@ -1,0 +1,150 @@
+#include "fem/laplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "geometry/tetra.hpp"
+
+namespace pi2m::fem {
+
+void CsrMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  const std::size_t n = rows();
+  y.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      acc += val[k] * x[col[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+CsrMatrix assemble_stiffness(const TetMesh& mesh) {
+  const std::size_t n = mesh.points.size();
+  // Triplet accumulation per row; meshes are small enough that a map per
+  // row is fine for a reference FE substrate.
+  std::vector<std::map<std::uint32_t, double>> rows(n);
+
+  for (const auto& t : mesh.tets) {
+    const Vec3& a = mesh.points[t[0]];
+    const Vec3& b = mesh.points[t[1]];
+    const Vec3& c = mesh.points[t[2]];
+    const Vec3& d = mesh.points[t[3]];
+    const double vol6 = 6.0 * signed_volume(a, b, c, d);
+    if (std::fabs(vol6) < 1e-300) continue;
+
+    // Gradients of the barycentric basis functions: grad λ_i is the inward
+    // normal of the opposite face scaled by 1/(6V) (sign handled by vol6).
+    const Vec3 g[4] = {
+        cross(d - b, c - b) / vol6,
+        cross(c - a, d - a) / vol6,
+        cross(d - a, b - a) / vol6,
+        cross(b - a, c - a) / vol6,
+    };
+    const double vol = std::fabs(vol6) / 6.0;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        rows[t[i]][t[j]] += vol * dot(g[i], g[j]);
+      }
+    }
+  }
+
+  CsrMatrix m;
+  m.row_ptr.assign(n + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t r = 0; r < n; ++r) nnz += rows[r].size();
+  m.col.reserve(nnz);
+  m.val.reserve(nnz);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& [c, v] : rows[r]) {
+      m.col.push_back(c);
+      m.val.push_back(v);
+    }
+    m.row_ptr[r + 1] = static_cast<std::uint32_t>(m.col.size());
+  }
+  return m;
+}
+
+SolveResult solve_laplace(const TetMesh& mesh, const DirichletProblem& problem,
+                          double tolerance, int max_iterations) {
+  SolveResult out;
+  const std::size_t n = mesh.points.size();
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<char> fixed(n, 0);
+  for (const auto& f : mesh.boundary_tris) {
+    for (const std::uint32_t v : f) fixed[v] = 1;
+  }
+
+  const CsrMatrix k = assemble_stiffness(mesh);
+  out.u.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (fixed[v]) out.u[v] = problem.boundary_value(mesh.points[v]);
+  }
+
+  // rhs for interior unknowns: -K_ib * u_b; solve on the interior block by
+  // zeroing fixed rows/cols implicitly (projection).
+  std::vector<double> rhs(n, 0.0), tmp(n);
+  k.multiply(out.u, tmp);
+  for (std::size_t v = 0; v < n; ++v) rhs[v] = fixed[v] ? 0.0 : -tmp[v];
+
+  std::vector<double> diag(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::uint32_t i = k.row_ptr[r]; i < k.row_ptr[r + 1]; ++i) {
+      if (k.col[i] == r && k.val[i] > 0.0) diag[r] = k.val[i];
+    }
+  }
+
+  auto project = [&](std::vector<double>& x) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (fixed[v]) x[v] = 0.0;
+    }
+  };
+  auto dotv = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+
+  // Jacobi-preconditioned CG on the homogeneous correction du.
+  std::vector<double> du(n, 0.0), r = rhs, z(n), p(n), q(n);
+  project(r);
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  project(z);
+  p = z;
+  double rz = dotv(r, z);
+  const double rhs_norm = std::sqrt(std::max(dotv(rhs, rhs), 1e-300));
+
+  for (out.iterations = 0; out.iterations < max_iterations; ++out.iterations) {
+    const double rnorm = std::sqrt(dotv(r, r));
+    out.residual = rnorm / rhs_norm;
+    if (out.residual < tolerance) {
+      out.converged = true;
+      break;
+    }
+    k.multiply(p, q);
+    project(q);
+    const double pq = dotv(p, q);
+    if (pq <= 0.0) break;  // matrix not SPD on this subspace: bail out
+    const double alpha = rz / pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      du[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    project(z);
+    const double rz_new = dotv(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) out.u[i] += du[i];
+  return out;
+}
+
+}  // namespace pi2m::fem

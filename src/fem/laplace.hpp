@@ -1,0 +1,54 @@
+// Minimal P1 finite-element substrate: assembly and solution of the
+// Laplace problem on a PI2M tetrahedral mesh.
+//
+// The paper's motivation is patient-specific FE modeling ("the robustness
+// and accuracy of the solver rely on the quality of the mesh", §1). This
+// module closes that loop: it assembles the P1 stiffness matrix on an
+// extracted TetMesh, applies Dirichlet data on the recovered isosurface,
+// and solves with Jacobi-preconditioned conjugate gradients. Element
+// quality shows up directly as conditioning — the examples and tests use
+// it to demonstrate that PI2M meshes are solver-ready (and that CG
+// iteration counts respond to mesh quality).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pi2m.hpp"
+
+namespace pi2m::fem {
+
+/// Compressed sparse row matrix (symmetric content, full storage).
+struct CsrMatrix {
+  std::vector<std::uint32_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+  [[nodiscard]] std::size_t rows() const { return row_ptr.size() - 1; }
+
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+};
+
+/// P1 (linear tetrahedra) stiffness matrix of -∆ on the mesh. Degenerate
+/// elements (zero volume) are skipped.
+CsrMatrix assemble_stiffness(const TetMesh& mesh);
+
+struct DirichletProblem {
+  /// Boundary value at a point; applied to every vertex on the mesh
+  /// boundary (vertices of boundary_tris).
+  std::function<double(const Vec3&)> boundary_value;
+};
+
+struct SolveResult {
+  std::vector<double> u;     ///< nodal solution
+  int iterations = 0;
+  double residual = 0.0;     ///< final relative residual
+  bool converged = false;
+};
+
+/// Solves -∆u = 0 with the given Dirichlet data using Jacobi-preconditioned
+/// CG on the interior unknowns.
+SolveResult solve_laplace(const TetMesh& mesh, const DirichletProblem& problem,
+                          double tolerance = 1e-8, int max_iterations = 5000);
+
+}  // namespace pi2m::fem

@@ -1,0 +1,123 @@
+#include "geometry/tetra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pi2m {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double clamp_cos(double c) { return std::min(1.0, std::max(-1.0, c)); }
+}  // namespace
+
+Circumsphere circumsphere(const Vec3& a, const Vec3& b, const Vec3& c,
+                          const Vec3& d) {
+  const Vec3 ba = b - a, ca = c - a, da = d - a;
+  const double ba2 = norm2(ba), ca2 = norm2(ca), da2 = norm2(da);
+
+  const Vec3 cbc = cross(ba, ca);
+  const double denom = 2.0 * dot(cbc, da);  // 12 * signed volume
+
+  Circumsphere out;
+  // Degeneracy guard: compare against the scale of the element so the test
+  // is unit-independent.
+  const double scale = std::sqrt(std::max({ba2, ca2, da2}));
+  if (std::fabs(denom) <= 1e-13 * scale * scale * scale) {
+    out.valid = false;
+    out.radius2 = 1e300;
+    return out;
+  }
+  const Vec3 num = da2 * cbc + ca2 * cross(da, ba) + ba2 * cross(ca, da);
+  const Vec3 rel = num / denom;
+  out.center = a + rel;
+  out.radius2 = norm2(rel);
+  out.valid = true;
+  return out;
+}
+
+Circumsphere triangle_circumcircle(const Vec3& a, const Vec3& b,
+                                   const Vec3& c) {
+  const Vec3 ba = b - a, ca = c - a;
+  const Vec3 n = cross(ba, ca);
+  const double n2 = norm2(n);
+
+  Circumsphere out;
+  const double scale = std::max(norm2(ba), norm2(ca));
+  if (n2 <= 1e-26 * scale * scale) {
+    out.valid = false;
+    out.radius2 = 1e300;
+    return out;
+  }
+  const Vec3 rel =
+      (norm2(ba) * cross(ca, n) + norm2(ca) * cross(n, ba)) / (2.0 * n2);
+  out.center = a + rel;
+  out.radius2 = norm2(rel);
+  out.valid = true;
+  return out;
+}
+
+double signed_volume(const Vec3& a, const Vec3& b, const Vec3& c,
+                     const Vec3& d) {
+  // Matches the predicate convention: orient3d > 0 <=> this is > 0.
+  const Vec3 ad = a - d, bd = b - d, cd = c - d;
+  return dot(ad, cross(bd, cd)) / 6.0;
+}
+
+double shortest_edge(const Vec3& a, const Vec3& b, const Vec3& c,
+                     const Vec3& d) {
+  const double e2 = std::min({distance2(a, b), distance2(a, c), distance2(a, d),
+                              distance2(b, c), distance2(b, d), distance2(c, d)});
+  return std::sqrt(e2);
+}
+
+double radius_edge_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
+                         const Vec3& d) {
+  const Circumsphere cs = circumsphere(a, b, c, d);
+  if (!cs.valid) return 1e300;
+  const double se = shortest_edge(a, b, c, d);
+  if (se <= 0.0) return 1e300;
+  return std::sqrt(cs.radius2) / se;
+}
+
+std::array<double, 6> dihedral_angles(const Vec3& a, const Vec3& b,
+                                      const Vec3& c, const Vec3& d) {
+  const std::array<Vec3, 4> p{a, b, c, d};
+  // Edge (i,j) with opposite edge (k,l): the dihedral angle along edge (i,j)
+  // is the angle between faces (i,j,k) and (i,j,l).
+  constexpr int edges[6][4] = {{0, 1, 2, 3}, {0, 2, 1, 3}, {0, 3, 1, 2},
+                               {1, 2, 0, 3}, {1, 3, 0, 2}, {2, 3, 0, 1}};
+  std::array<double, 6> out{};
+  for (int e = 0; e < 6; ++e) {
+    const Vec3& pi = p[edges[e][0]];
+    const Vec3& pj = p[edges[e][1]];
+    const Vec3& pk = p[edges[e][2]];
+    const Vec3& pl = p[edges[e][3]];
+    const Vec3 n1 = cross(pj - pi, pk - pi);
+    const Vec3 n2 = cross(pj - pi, pl - pi);
+    const double n1n = norm(n1), n2n = norm(n2);
+    if (n1n <= 0.0 || n2n <= 0.0) {
+      out[e] = 0.0;
+      continue;
+    }
+    out[e] = std::acos(clamp_cos(dot(n1, n2) / (n1n * n2n))) * 180.0 / kPi;
+  }
+  return out;
+}
+
+std::array<double, 3> triangle_angles(const Vec3& a, const Vec3& b,
+                                      const Vec3& c) {
+  auto angle_at = [](const Vec3& apex, const Vec3& u, const Vec3& v) {
+    const Vec3 e1 = u - apex, e2 = v - apex;
+    const double n1 = norm(e1), n2 = norm(e2);
+    if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+    return std::acos(clamp_cos(dot(e1, e2) / (n1 * n2))) * 180.0 / kPi;
+  };
+  return {angle_at(a, b, c), angle_at(b, c, a), angle_at(c, a, b)};
+}
+
+double min_triangle_angle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  const auto ang = triangle_angles(a, b, c);
+  return std::min({ang[0], ang[1], ang[2]});
+}
+
+}  // namespace pi2m

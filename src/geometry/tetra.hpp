@@ -1,0 +1,53 @@
+// Tetrahedron and triangle metric computations: circumcenters, radii,
+// volumes, the radius-edge ratio used by refinement rule R4, dihedral
+// angles, and triangle planar angles used by rule R3 (paper §3).
+#pragma once
+
+#include <array>
+
+#include "geometry/vec3.hpp"
+
+namespace pi2m {
+
+/// Circumcenter and squared circumradius of a tetrahedron.
+struct Circumsphere {
+  Vec3 center;
+  double radius2 = 0.0;
+  /// False when the tetrahedron is (numerically) degenerate; callers must
+  /// treat such elements as infinitely bad.
+  bool valid = false;
+};
+
+/// Solves the 3x3 system for the circumcenter relative to `a` (exact in the
+/// absence of rounding; uses the scaled Cramer formulation which is stable
+/// for well-shaped elements and flags near-flat ones).
+Circumsphere circumsphere(const Vec3& a, const Vec3& b, const Vec3& c,
+                          const Vec3& d);
+
+/// Circumcenter and squared circumradius of triangle (a,b,c) in 3D.
+Circumsphere triangle_circumcircle(const Vec3& a, const Vec3& b, const Vec3& c);
+
+/// Signed volume: positive when orient3d(a,b,c,d) > 0 under the predicate
+/// convention used throughout this library.
+double signed_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+/// Length of the shortest of the six edges.
+double shortest_edge(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+/// Circumradius over shortest edge. Returns a large sentinel (1e300) for
+/// degenerate elements so they always classify as poor.
+double radius_edge_ratio(const Vec3& a, const Vec3& b, const Vec3& c,
+                         const Vec3& d);
+
+/// The six dihedral angles (degrees), unordered.
+std::array<double, 6> dihedral_angles(const Vec3& a, const Vec3& b,
+                                      const Vec3& c, const Vec3& d);
+
+/// The three interior angles (degrees) of triangle (a,b,c).
+std::array<double, 3> triangle_angles(const Vec3& a, const Vec3& b,
+                                      const Vec3& c);
+
+/// Smallest interior angle (degrees) of triangle (a,b,c).
+double min_triangle_angle(const Vec3& a, const Vec3& b, const Vec3& c);
+
+}  // namespace pi2m

@@ -1,0 +1,85 @@
+// 3D vector used throughout PI2M. Plain aggregate, value semantics.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <iosfwd>
+
+namespace pi2m {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(double s, const Vec3& a) {
+    return {s * a.x, s * a.y, s * a.z};
+  }
+  friend constexpr Vec3 operator*(const Vec3& a, double s) { return s * a; }
+  friend constexpr Vec3 operator/(const Vec3& a, double s) {
+    return {a.x / s, a.y / s, a.z / s};
+  }
+  Vec3& operator+=(const Vec3& b) {
+    x += b.x; y += b.y; z += b.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& b) {
+    x -= b.x; y -= b.y; z -= b.z;
+    return *this;
+  }
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+constexpr double distance2(const Vec3& a, const Vec3& b) { return norm2(a - b); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{0, 0, 0};
+}
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 lo{+1e300, +1e300, +1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  void expand(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+  }
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  [[nodiscard]] Vec3 extent() const { return hi - lo; }
+  [[nodiscard]] Vec3 center() const { return 0.5 * (lo + hi); }
+  /// Grow symmetrically by `margin` in every direction.
+  [[nodiscard]] Aabb inflated(double margin) const {
+    return {lo - Vec3{margin, margin, margin}, hi + Vec3{margin, margin, margin}};
+  }
+};
+
+}  // namespace pi2m

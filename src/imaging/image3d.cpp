@@ -1,0 +1,53 @@
+#include "imaging/image3d.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace pi2m {
+
+LabeledImage3D::LabeledImage3D(int nx, int ny, int nz, Vec3 spacing,
+                               Vec3 origin)
+    : nx_(nx), ny_(ny), nz_(nz), spacing_(spacing), origin_(origin) {
+  PI2M_CHECK(nx > 0 && ny > 0 && nz > 0, "image dimensions must be positive");
+  PI2M_CHECK(spacing.x > 0 && spacing.y > 0 && spacing.z > 0,
+             "voxel spacing must be positive");
+  inv_spacing_ = {1.0 / spacing.x, 1.0 / spacing.y, 1.0 / spacing.z};
+  data_.assign(static_cast<std::size_t>(nx) * ny * nz, Label{0});
+  bounds_.expand(voxel_center({0, 0, 0}) - 0.5 * spacing_);
+  bounds_.expand(voxel_center({nx_ - 1, ny_ - 1, nz_ - 1}) + 0.5 * spacing_);
+}
+
+Voxel LabeledImage3D::nearest_voxel(const Vec3& p) const {
+  auto clampi = [](double v, int n) {
+    const int i = static_cast<int>(std::lround(v));
+    return std::clamp(i, 0, n - 1);
+  };
+  return {clampi((p.x - origin_.x) / spacing_.x, nx_),
+          clampi((p.y - origin_.y) / spacing_.y, ny_),
+          clampi((p.z - origin_.z) / spacing_.z, nz_)};
+}
+
+bool LabeledImage3D::is_surface_voxel(const Voxel& v) const {
+  const Label l = at(v);
+  if (l == 0) return false;
+  static constexpr std::array<Voxel, 6> kOffsets{
+      Voxel{1, 0, 0}, Voxel{-1, 0, 0}, Voxel{0, 1, 0},
+      Voxel{0, -1, 0}, Voxel{0, 0, 1}, Voxel{0, 0, -1}};
+  for (const Voxel& o : kOffsets) {
+    if (at({v.x + o.x, v.y + o.y, v.z + o.z}) != l) return true;
+  }
+  return false;
+}
+
+std::vector<Label> LabeledImage3D::labels_present() const {
+  std::array<bool, 256> seen{};
+  for (Label l : data_) seen[l] = true;
+  std::vector<Label> out;
+  for (int l = 1; l < 256; ++l) {
+    if (seen[l]) out.push_back(static_cast<Label>(l));
+  }
+  return out;
+}
+
+}  // namespace pi2m

@@ -1,0 +1,112 @@
+// Multi-label segmented 3D image: the input format of PI2M (paper §2-3).
+// Label 0 is background; every non-zero label is a tissue.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "support/common.hpp"
+
+namespace pi2m {
+
+using Label = std::uint8_t;
+
+/// Integer voxel coordinate.
+struct Voxel {
+  int x = 0, y = 0, z = 0;
+  friend bool operator==(const Voxel&, const Voxel&) = default;
+};
+
+class LabeledImage3D {
+ public:
+  LabeledImage3D() = default;
+  /// An image of `nx*ny*nz` voxels with physical voxel spacing (mm) and
+  /// world-space origin at the center of voxel (0,0,0).
+  LabeledImage3D(int nx, int ny, int nz, Vec3 spacing = {1, 1, 1},
+                 Vec3 origin = {0, 0, 0});
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t voxel_count() const { return data_.size(); }
+  [[nodiscard]] const Vec3& spacing() const { return spacing_; }
+  [[nodiscard]] const Vec3& origin() const { return origin_; }
+  [[nodiscard]] double min_spacing() const {
+    return std::min({spacing_.x, spacing_.y, spacing_.z});
+  }
+
+  [[nodiscard]] bool in_bounds(const Voxel& v) const {
+    return v.x >= 0 && v.x < nx_ && v.y >= 0 && v.y < ny_ && v.z >= 0 &&
+           v.z < nz_;
+  }
+
+  [[nodiscard]] std::size_t index(const Voxel& v) const {
+    return static_cast<std::size_t>(v.z) * nx_ * ny_ +
+           static_cast<std::size_t>(v.y) * nx_ + v.x;
+  }
+
+  /// Label at a voxel; out-of-bounds voxels are background.
+  [[nodiscard]] Label at(const Voxel& v) const {
+    return in_bounds(v) ? data_[index(v)] : Label{0};
+  }
+  Label& at(const Voxel& v) {
+    PI2M_CHECK(in_bounds(v), "voxel write out of bounds");
+    return data_[index(v)];
+  }
+
+  /// World-space center of a voxel.
+  [[nodiscard]] Vec3 voxel_center(const Voxel& v) const {
+    return {origin_.x + v.x * spacing_.x, origin_.y + v.y * spacing_.y,
+            origin_.z + v.z * spacing_.z};
+  }
+
+  /// The voxel whose center is nearest to a world point (clamped to bounds).
+  [[nodiscard]] Voxel nearest_voxel(const Vec3& p) const;
+
+  /// Nearest-neighbour label lookup at a world point; points outside the
+  /// image volume are background. Hot path: called millions of times per
+  /// second by the oracle's ray walks, so it avoids any redundant work.
+  [[nodiscard]] Label label_at(const Vec3& p) const {
+    const double fx = (p.x - origin_.x) * inv_spacing_.x;
+    const double fy = (p.y - origin_.y) * inv_spacing_.y;
+    const double fz = (p.z - origin_.z) * inv_spacing_.z;
+    // Round-half-away-from-zero like lround; out-of-volume -> background.
+    const int ix = static_cast<int>(fx + (fx >= 0 ? 0.5 : -0.5));
+    const int iy = static_cast<int>(fy + (fy >= 0 ? 0.5 : -0.5));
+    const int iz = static_cast<int>(fz + (fz >= 0 ? 0.5 : -0.5));
+    if (static_cast<unsigned>(ix) >= static_cast<unsigned>(nx_) ||
+        static_cast<unsigned>(iy) >= static_cast<unsigned>(ny_) ||
+        static_cast<unsigned>(iz) >= static_cast<unsigned>(nz_)) {
+      return 0;
+    }
+    return data_[static_cast<std::size_t>(iz) * nx_ * ny_ +
+                 static_cast<std::size_t>(iy) * nx_ + ix];
+  }
+
+  /// World-space bounding box of the voxel grid (voxel centers, inflated by
+  /// half a voxel so the full sampled volume is covered). Precomputed.
+  [[nodiscard]] const Aabb& bounds() const { return bounds_; }
+
+  /// A voxel is a *surface voxel* when it is foreground (label != 0) and at
+  /// least one of its 6 neighbours carries a different label (paper §3);
+  /// image-border foreground voxels count (the outside is background).
+  [[nodiscard]] bool is_surface_voxel(const Voxel& v) const;
+
+  [[nodiscard]] const std::vector<Label>& raw() const { return data_; }
+  std::vector<Label>& raw() { return data_; }
+
+  /// Distinct non-zero labels present in the image.
+  [[nodiscard]] std::vector<Label> labels_present() const;
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  Vec3 spacing_{1, 1, 1};
+  Vec3 inv_spacing_{1, 1, 1};
+  Vec3 origin_{0, 0, 0};
+  Aabb bounds_;
+  std::vector<Label> data_;
+};
+
+}  // namespace pi2m

@@ -1,0 +1,96 @@
+#include "imaging/isosurface.hpp"
+
+#include <cmath>
+
+namespace pi2m {
+
+IsosurfaceOracle::IsosurfaceOracle(const LabeledImage3D& img, int threads)
+    : img_(&img),
+      ft_(FeatureTransform::compute(img, threads)),
+      step_(0.45 * img.min_spacing()),
+      voxel_diag_(norm(img.spacing())) {}
+
+Vec3 IsosurfaceOracle::bisect(Vec3 s, Label ls, Vec3 t) const {
+  // 15 halvings of a sub-voxel bracket resolve the interface to ~3e-5
+  // voxels, far below any geometric tolerance used by the refiner.
+  for (int i = 0; i < 15; ++i) {
+    const Vec3 m = 0.5 * (s + t);
+    if (label_at(m) == ls) {
+      s = m;
+    } else {
+      t = m;
+    }
+  }
+  return 0.5 * (s + t);
+}
+
+Vec3 IsosurfaceOracle::refine_around_voxel(const Vec3& q) const {
+  // q is (near) the center of a surface voxel: one of its 6 axis
+  // neighbourhoods carries a different label. Bisect the closest such
+  // bracket to land on the interface.
+  const Label lq = label_at(q);
+  const Vec3 sp = img_->spacing();
+  const Vec3 probes[6] = {{sp.x, 0, 0},  {-sp.x, 0, 0}, {0, sp.y, 0},
+                          {0, -sp.y, 0}, {0, 0, sp.z},  {0, 0, -sp.z}};
+  for (const Vec3& pr : probes) {
+    if (label_at(q + pr) != lq) return bisect(q, lq, q + pr);
+  }
+  return q;  // isolated voxel; its center is the best surface estimate
+}
+
+std::optional<Vec3> IsosurfaceOracle::closest_surface_point(
+    const Vec3& p) const {
+  if (!ft_.has_surface()) return std::nullopt;
+  const Voxel v = img_->nearest_voxel(p);
+  const Voxel f = ft_.nearest_surface_voxel(v);
+  const Vec3 q = img_->voxel_center(f);
+
+  // Walk from p toward (and slightly past) the surface voxel center looking
+  // for the label transition; q is a surface voxel so a transition exists
+  // within one voxel of it in some direction — walking the ray overshoots by
+  // a voxel diagonal to be safe.
+  const Vec3 d = q - p;
+  const double len = norm(d);
+  const double overshoot = 2.0 * img_->min_spacing();
+  const Label lp = label_at(p);
+  if (len <= 1e-12) return refine_around_voxel(q);
+
+  const Vec3 dir = d / len;
+  Vec3 prev = p;
+  Label lprev = lp;
+  for (double t = step_; t <= len + overshoot; t += step_) {
+    const Vec3 cur = p + t * dir;
+    const Label lcur = label_at(cur);
+    if (lcur != lprev) return bisect(prev, lprev, cur);
+    prev = cur;
+  }
+  // No transition along the ray (the interface lies sideways of the surface
+  // voxel, e.g. when p itself sits in the surface shell): refine around the
+  // surface voxel center instead.
+  return refine_around_voxel(q);
+}
+
+std::optional<Vec3> IsosurfaceOracle::segment_surface_intersection(
+    const Vec3& a, const Vec3& b) const {
+  const double len = distance(a, b);
+  if (len <= 1e-12) return std::nullopt;
+  const Vec3 dir = (b - a) / len;
+  Vec3 prev = a;
+  Label lprev = label_at(a);
+  for (double t = step_; t < len; t += step_) {
+    const Vec3 cur = a + t * dir;
+    const Label lcur = label_at(cur);
+    if (lcur != lprev) return bisect(prev, lprev, cur);
+    prev = cur;
+  }
+  if (label_at(b) != lprev) return bisect(prev, lprev, b);
+  return std::nullopt;
+}
+
+bool IsosurfaceOracle::ball_intersects_surface(const Vec3& c, double r) const {
+  const auto q = closest_surface_point(c);
+  if (!q) return false;
+  return distance(c, *q) <= r;
+}
+
+}  // namespace pi2m

@@ -1,0 +1,93 @@
+#include "imaging/resample.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "support/common.hpp"
+
+namespace pi2m {
+
+LabeledImage3D downsample(const LabeledImage3D& img, int factor) {
+  PI2M_CHECK(factor >= 1, "downsample factor must be >= 1");
+  if (factor == 1) return img;
+  const int nx = std::max(1, img.nx() / factor);
+  const int ny = std::max(1, img.ny() / factor);
+  const int nz = std::max(1, img.nz() / factor);
+  const Vec3 sp = img.spacing();
+  LabeledImage3D out(nx, ny, nz,
+                     {sp.x * factor, sp.y * factor, sp.z * factor},
+                     img.origin());
+  std::array<int, 256> votes{};
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        votes.fill(0);
+        for (int dz = 0; dz < factor; ++dz) {
+          for (int dy = 0; dy < factor; ++dy) {
+            for (int dx = 0; dx < factor; ++dx) {
+              ++votes[img.at({x * factor + dx, y * factor + dy,
+                              z * factor + dz})];
+            }
+          }
+        }
+        int best = 0;
+        for (int l = 1; l < 256; ++l) {
+          if (votes[l] > votes[best]) best = l;
+        }
+        out.at({x, y, z}) = static_cast<Label>(best);
+      }
+    }
+  }
+  return out;
+}
+
+LabeledImage3D crop(const LabeledImage3D& img, Voxel lo, Voxel hi) {
+  lo = {std::max(lo.x, 0), std::max(lo.y, 0), std::max(lo.z, 0)};
+  hi = {std::min(hi.x, img.nx() - 1), std::min(hi.y, img.ny() - 1),
+        std::min(hi.z, img.nz() - 1)};
+  PI2M_CHECK(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z,
+             "empty crop region");
+  const Vec3 new_origin = img.voxel_center(lo);
+  LabeledImage3D out(hi.x - lo.x + 1, hi.y - lo.y + 1, hi.z - lo.z + 1,
+                     img.spacing(), new_origin);
+  for (int z = 0; z < out.nz(); ++z) {
+    for (int y = 0; y < out.ny(); ++y) {
+      for (int x = 0; x < out.nx(); ++x) {
+        out.at({x, y, z}) = img.at({lo.x + x, lo.y + y, lo.z + z});
+      }
+    }
+  }
+  return out;
+}
+
+void foreground_bounds(const LabeledImage3D& img, int pad, Voxel* lo,
+                       Voxel* hi) {
+  *lo = {img.nx(), img.ny(), img.nz()};
+  *hi = {-1, -1, -1};
+  for (int z = 0; z < img.nz(); ++z) {
+    for (int y = 0; y < img.ny(); ++y) {
+      for (int x = 0; x < img.nx(); ++x) {
+        if (img.at({x, y, z}) == 0) continue;
+        lo->x = std::min(lo->x, x);
+        lo->y = std::min(lo->y, y);
+        lo->z = std::min(lo->z, z);
+        hi->x = std::max(hi->x, x);
+        hi->y = std::max(hi->y, y);
+        hi->z = std::max(hi->z, z);
+      }
+    }
+  }
+  if (hi->x < 0) {  // no foreground: whole image
+    *lo = {0, 0, 0};
+    *hi = {img.nx() - 1, img.ny() - 1, img.nz() - 1};
+    return;
+  }
+  lo->x = std::max(0, lo->x - pad);
+  lo->y = std::max(0, lo->y - pad);
+  lo->z = std::max(0, lo->z - pad);
+  hi->x = std::min(img.nx() - 1, hi->x + pad);
+  hi->y = std::min(img.ny() - 1, hi->y + pad);
+  hi->z = std::min(img.nz() - 1, hi->z + pad);
+}
+
+}  // namespace pi2m

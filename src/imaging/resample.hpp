@@ -1,0 +1,25 @@
+// Label-image resampling and cropping utilities: practical preprocessing
+// for real scans (downsample a 512^3 atlas before meshing, crop to a
+// region of interest). Nearest-neighbour only — label images must never
+// be interpolated.
+#pragma once
+
+#include "imaging/image3d.hpp"
+
+namespace pi2m {
+
+/// Integer-factor downsampling by majority vote over each factor^3 block
+/// (ties broken toward the smaller label; background participates).
+/// Physical spacing scales by `factor` so world geometry is preserved.
+LabeledImage3D downsample(const LabeledImage3D& img, int factor);
+
+/// Crops the voxel region [lo, hi] (inclusive, clamped to bounds). The
+/// origin shifts so world coordinates of retained voxels are unchanged.
+LabeledImage3D crop(const LabeledImage3D& img, Voxel lo, Voxel hi);
+
+/// Tight bounding box of the foreground (label != 0), padded by `pad`
+/// voxels and clamped; full image when there is no foreground.
+void foreground_bounds(const LabeledImage3D& img, int pad, Voxel* lo,
+                       Voxel* hi);
+
+}  // namespace pi2m

@@ -1,0 +1,162 @@
+#include "io/image_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pi2m::io {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+struct MhaHeader {
+  int nx = 0, ny = 0, nz = 0;
+  Vec3 spacing{1, 1, 1};
+  Vec3 origin{0, 0, 0};
+  std::string element_type;
+  std::size_t header_end = 0;  ///< offset of the first voxel byte
+};
+
+bool parse_header(const std::string& raw, MhaHeader& h, std::string* error) {
+  std::size_t pos = 0;
+  std::map<std::string, std::string> kv;
+  while (pos < raw.size()) {
+    const std::size_t eol = raw.find('\n', pos);
+    if (eol == std::string::npos) return fail(error, "unterminated header");
+    const std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail(error, "malformed header line");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    kv[key] = val;
+    if (key == "ElementDataFile") {
+      if (val != "LOCAL") return fail(error, "only ElementDataFile=LOCAL supported");
+      h.header_end = pos;
+      break;
+    }
+  }
+  if (h.header_end == 0) return fail(error, "missing ElementDataFile");
+
+  const auto get = [&](const std::string& k) -> std::string {
+    const auto it = kv.find(k);
+    return it == kv.end() ? std::string{} : it->second;
+  };
+  if (get("NDims") != "3") return fail(error, "only NDims=3 supported");
+  if (!get("CompressedData").empty() && get("CompressedData") != "False") {
+    return fail(error, "compressed data not supported");
+  }
+  {
+    std::istringstream ss(get("DimSize"));
+    if (!(ss >> h.nx >> h.ny >> h.nz) || h.nx <= 0 || h.ny <= 0 || h.nz <= 0) {
+      return fail(error, "bad DimSize");
+    }
+  }
+  {
+    std::string sp = get("ElementSpacing");
+    if (sp.empty()) sp = get("ElementSize");
+    if (!sp.empty()) {
+      std::istringstream ss(sp);
+      if (!(ss >> h.spacing.x >> h.spacing.y >> h.spacing.z) ||
+          h.spacing.x <= 0 || h.spacing.y <= 0 || h.spacing.z <= 0) {
+        return fail(error, "bad ElementSpacing");
+      }
+    }
+  }
+  {
+    std::string off = get("Offset");
+    if (off.empty()) off = get("Position");
+    if (!off.empty()) {
+      std::istringstream ss(off);
+      if (!(ss >> h.origin.x >> h.origin.y >> h.origin.z)) {
+        return fail(error, "bad Offset");
+      }
+    }
+  }
+  h.element_type = get("ElementType");
+  if (h.element_type != "MET_UCHAR" && h.element_type != "MET_USHORT") {
+    return fail(error, "unsupported ElementType '" + h.element_type + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_mha(const LabeledImage3D& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "ObjectType = Image\n"
+      << "NDims = 3\n"
+      << "BinaryData = True\n"
+      << "BinaryDataByteOrderMSB = False\n"
+      << "CompressedData = False\n"
+      << "DimSize = " << img.nx() << ' ' << img.ny() << ' ' << img.nz() << '\n'
+      << "ElementSpacing = " << img.spacing().x << ' ' << img.spacing().y
+      << ' ' << img.spacing().z << '\n'
+      << "Offset = " << img.origin().x << ' ' << img.origin().y << ' '
+      << img.origin().z << '\n'
+      << "ElementType = MET_UCHAR\n"
+      << "ElementDataFile = LOCAL\n";
+  out.write(reinterpret_cast<const char*>(img.raw().data()),
+            static_cast<std::streamsize>(img.voxel_count()));
+  return out.good();
+}
+
+std::optional<LabeledImage3D> read_mha(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+
+  MhaHeader h;
+  if (!parse_header(raw, h, error)) return std::nullopt;
+
+  const std::size_t voxels =
+      static_cast<std::size_t>(h.nx) * h.ny * h.nz;
+  const std::size_t bytes_per =
+      h.element_type == "MET_USHORT" ? 2 : 1;
+  if (raw.size() - h.header_end < voxels * bytes_per) {
+    if (error) *error = "truncated voxel data";
+    return std::nullopt;
+  }
+
+  LabeledImage3D img(h.nx, h.ny, h.nz, h.spacing, h.origin);
+  const auto* data =
+      reinterpret_cast<const unsigned char*>(raw.data() + h.header_end);
+  if (bytes_per == 1) {
+    std::copy(data, data + voxels, img.raw().begin());
+  } else {
+    for (std::size_t i = 0; i < voxels; ++i) {
+      // Little-endian ushort labels; must fit a label byte.
+      const unsigned v = data[2 * i] | (unsigned(data[2 * i + 1]) << 8);
+      if (v > 255) {
+        if (error) *error = "MET_USHORT label exceeds 255";
+        return std::nullopt;
+      }
+      img.raw()[i] = static_cast<Label>(v);
+    }
+  }
+  return img;
+}
+
+}  // namespace pi2m::io

@@ -1,0 +1,23 @@
+// Segmented-image file I/O: MetaImage (.mha, the ITK/3D-Slicer container
+// the paper's atlas inputs ship in) with embedded uncompressed voxel data,
+// plus a trivial raw+header pair. Only the label-image subset is supported:
+// unsigned 8/16-bit voxels, 3 dimensions, no compression.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "imaging/image3d.hpp"
+
+namespace pi2m::io {
+
+/// Writes `img` as an uncompressed MET_UCHAR MetaImage with embedded data.
+bool write_mha(const LabeledImage3D& img, const std::string& path);
+
+/// Reads an uncompressed local-data MetaImage. Returns nullopt (and fills
+/// `error` when given) on malformed input or unsupported features; 16-bit
+/// inputs are accepted when every voxel fits a label byte.
+std::optional<LabeledImage3D> read_mha(const std::string& path,
+                                       std::string* error = nullptr);
+
+}  // namespace pi2m::io

@@ -1,0 +1,80 @@
+#include "io/tables.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pi2m::io {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  if (rows_.empty()) return {};
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+    const auto& r = rows_[ri];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      if (ri == 0 || c == 0) {  // header row and row labels: left aligned
+        out << cell << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cell;
+      }
+      if (c + 1 < cols) out << "  ";
+    }
+    out << '\n';
+    if (ri == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 < cols ? 2 : 0);
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*E", precision, v);
+  return buf;
+}
+
+std::string fmt_int(std::uint64_t v) {
+  // Group thousands for readability.
+  const std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fmt_pct(double frac, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * frac);
+  return buf;
+}
+
+}  // namespace pi2m::io

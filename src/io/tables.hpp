@@ -1,0 +1,29 @@
+// Fixed-width text tables for the benchmark harness: every bench binary
+// prints the rows of the paper table/figure it reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pi2m::io {
+
+class TextTable {
+ public:
+  /// First row added is treated as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment (header left, data right).
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers used across benches.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_int(std::uint64_t v);
+std::string fmt_pct(double frac, int precision = 1);
+
+}  // namespace pi2m::io

@@ -1,0 +1,105 @@
+#include "io/writers.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace pi2m::io {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open(const std::string& path) { return File(std::fopen(path.c_str(), "w")); }
+
+}  // namespace
+
+bool write_vtk(const TetMesh& mesh, const std::string& path) {
+  File f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "# vtk DataFile Version 3.0\npi2m mesh\nASCII\n");
+  std::fprintf(f.get(), "DATASET UNSTRUCTURED_GRID\nPOINTS %zu double\n",
+               mesh.points.size());
+  for (const Vec3& p : mesh.points) {
+    std::fprintf(f.get(), "%.9g %.9g %.9g\n", p.x, p.y, p.z);
+  }
+  std::fprintf(f.get(), "CELLS %zu %zu\n", mesh.tets.size(),
+               mesh.tets.size() * 5);
+  for (const auto& t : mesh.tets) {
+    std::fprintf(f.get(), "4 %u %u %u %u\n", t[0], t[1], t[2], t[3]);
+  }
+  std::fprintf(f.get(), "CELL_TYPES %zu\n", mesh.tets.size());
+  for (std::size_t i = 0; i < mesh.tets.size(); ++i) {
+    std::fprintf(f.get(), "10\n");  // VTK_TETRA
+  }
+  std::fprintf(f.get(), "CELL_DATA %zu\nSCALARS label int 1\nLOOKUP_TABLE default\n",
+               mesh.tets.size());
+  for (const Label l : mesh.tet_labels) {
+    std::fprintf(f.get(), "%d\n", static_cast<int>(l));
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool write_off_surface(const TetMesh& mesh, const std::string& path) {
+  File f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "OFF\n%zu %zu 0\n", mesh.points.size(),
+               mesh.boundary_tris.size());
+  for (const Vec3& p : mesh.points) {
+    std::fprintf(f.get(), "%.9g %.9g %.9g\n", p.x, p.y, p.z);
+  }
+  for (const auto& t : mesh.boundary_tris) {
+    std::fprintf(f.get(), "3 %u %u %u\n", t[0], t[1], t[2]);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool write_medit(const TetMesh& mesh, const std::string& path) {
+  File f = open(path);
+  if (!f) return false;
+  std::fprintf(f.get(), "MeshVersionFormatted 2\nDimension 3\n");
+  std::fprintf(f.get(), "Vertices\n%zu\n", mesh.points.size());
+  for (const Vec3& p : mesh.points) {
+    std::fprintf(f.get(), "%.9g %.9g %.9g 0\n", p.x, p.y, p.z);
+  }
+  std::fprintf(f.get(), "Tetrahedra\n%zu\n", mesh.tets.size());
+  for (std::size_t i = 0; i < mesh.tets.size(); ++i) {
+    const auto& t = mesh.tets[i];
+    std::fprintf(f.get(), "%u %u %u %u %d\n", t[0] + 1, t[1] + 1, t[2] + 1,
+                 t[3] + 1, static_cast<int>(mesh.tet_labels[i]));
+  }
+  std::fprintf(f.get(), "Triangles\n%zu\n", mesh.boundary_tris.size());
+  for (const auto& t : mesh.boundary_tris) {
+    std::fprintf(f.get(), "%u %u %u 0\n", t[0] + 1, t[1] + 1, t[2] + 1);
+  }
+  std::fprintf(f.get(), "End\n");
+  return std::ferror(f.get()) == 0;
+}
+
+bool write_stl_surface(const TetMesh& mesh, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  char header[80] = "pi2m boundary surface";
+  std::fwrite(header, 1, sizeof header, f.get());
+  const auto count = static_cast<std::uint32_t>(mesh.boundary_tris.size());
+  std::fwrite(&count, 4, 1, f.get());
+  for (const auto& t : mesh.boundary_tris) {
+    const Vec3& a = mesh.points[t[0]];
+    const Vec3& b = mesh.points[t[1]];
+    const Vec3& c3 = mesh.points[t[2]];
+    const Vec3 n = normalized(cross(b - a, c3 - a));
+    float rec[12] = {
+        float(n.x),  float(n.y),  float(n.z),  float(a.x), float(a.y),
+        float(a.z),  float(b.x),  float(b.y),  float(b.z), float(c3.x),
+        float(c3.y), float(c3.z)};
+    std::fwrite(rec, 4, 12, f.get());
+    const std::uint16_t attr = 0;
+    std::fwrite(&attr, 2, 1, f.get());
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+}  // namespace pi2m::io

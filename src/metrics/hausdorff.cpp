@@ -1,0 +1,173 @@
+#include "metrics/hausdorff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace pi2m {
+
+double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
+                               const Vec3& c) {
+  // Ericson, "Real-Time Collision Detection", closest point on triangle.
+  const Vec3 ab = b - a, ac = c - a, ap = p - a;
+  const double d1 = dot(ab, ap), d2 = dot(ac, ap);
+  if (d1 <= 0.0 && d2 <= 0.0) return distance(p, a);
+
+  const Vec3 bp = p - b;
+  const double d3 = dot(ab, bp), d4 = dot(ac, bp);
+  if (d3 >= 0.0 && d4 <= d3) return distance(p, b);
+
+  const double vc = d1 * d4 - d3 * d2;
+  if (vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0) {
+    const double v = d1 / (d1 - d3);
+    return distance(p, a + v * ab);
+  }
+
+  const Vec3 cp = p - c;
+  const double d5 = dot(ab, cp), d6 = dot(ac, cp);
+  if (d6 >= 0.0 && d5 <= d6) return distance(p, c);
+
+  const double vb = d5 * d2 - d1 * d6;
+  if (vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0) {
+    const double w = d2 / (d2 - d6);
+    return distance(p, a + w * ac);
+  }
+
+  const double va = d3 * d6 - d5 * d4;
+  if (va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0) {
+    const double w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return distance(p, b + w * (c - b));
+  }
+
+  const double denom = 1.0 / (va + vb + vc);
+  const double v = vb * denom, w = vc * denom;
+  return distance(p, a + v * ab + w * ac);
+}
+
+namespace {
+
+/// Uniform grid over boundary triangles for nearest-triangle queries.
+class TriangleGrid {
+ public:
+  TriangleGrid(const TetMesh& mesh, double cell) : mesh_(mesh), cell_(cell) {
+    for (const auto& p : mesh.points) bounds_.expand(p);
+    for (std::size_t t = 0; t < mesh.boundary_tris.size(); ++t) {
+      Aabb bb;
+      for (int k = 0; k < 3; ++k) bb.expand(mesh_.points[mesh_.boundary_tris[t][k]]);
+      for_cells(bb, [&](std::int64_t key) {
+        cells_[key].push_back(static_cast<std::uint32_t>(t));
+      });
+    }
+  }
+
+  /// Nearest-triangle distance via expanding ring search.
+  [[nodiscard]] double distance_to(const Vec3& p) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (int ring = 0; ring < 64; ++ring) {
+      visit_ring(p, ring, [&](std::uint32_t t) {
+        const auto& f = mesh_.boundary_tris[t];
+        best = std::min(best,
+                        point_triangle_distance(p, mesh_.points[f[0]],
+                                                mesh_.points[f[1]],
+                                                mesh_.points[f[2]]));
+      });
+      // Once a candidate exists, one more ring guarantees correctness
+      // (anything outside ring+1 is farther than ring*cell >= best).
+      if (best < ring * cell_) break;
+    }
+    return best;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t key_of(int x, int y, int z) const {
+    const std::int64_t off = 1 << 20;
+    return ((static_cast<std::int64_t>(x) + off) << 42) |
+           ((static_cast<std::int64_t>(y) + off) << 21) |
+           (static_cast<std::int64_t>(z) + off);
+  }
+  [[nodiscard]] int coord(double v, double o) const {
+    return static_cast<int>(std::floor((v - o) / cell_));
+  }
+
+  template <typename Fn>
+  void for_cells(const Aabb& bb, Fn&& fn) {
+    for (int z = coord(bb.lo.z, bounds_.lo.z); z <= coord(bb.hi.z, bounds_.lo.z); ++z)
+      for (int y = coord(bb.lo.y, bounds_.lo.y); y <= coord(bb.hi.y, bounds_.lo.y); ++y)
+        for (int x = coord(bb.lo.x, bounds_.lo.x); x <= coord(bb.hi.x, bounds_.lo.x); ++x)
+          fn(key_of(x, y, z));
+  }
+
+  template <typename Fn>
+  void visit_ring(const Vec3& p, int ring, Fn&& fn) const {
+    const int cx = coord(p.x, bounds_.lo.x);
+    const int cy = coord(p.y, bounds_.lo.y);
+    const int cz = coord(p.z, bounds_.lo.z);
+    for (int dz = -ring; dz <= ring; ++dz) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        for (int dx = -ring; dx <= ring; ++dx) {
+          if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring)
+            continue;  // shell only
+          const auto it = cells_.find(key_of(cx + dx, cy + dy, cz + dz));
+          if (it == cells_.end()) continue;
+          for (std::uint32_t t : it->second) fn(t);
+        }
+      }
+    }
+  }
+
+  const TetMesh& mesh_;
+  double cell_;
+  Aabb bounds_;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace
+
+HausdorffResult hausdorffdistance_impl(const TetMesh& mesh,
+                                       const IsosurfaceOracle& oracle,
+                                       int n) {
+  HausdorffResult out;
+  if (mesh.boundary_tris.empty()) return out;
+
+  // mesh -> surface: barycentric samples of each boundary triangle.
+  for (const auto& f : mesh.boundary_tris) {
+    const Vec3& a = mesh.points[f[0]];
+    const Vec3& b = mesh.points[f[1]];
+    const Vec3& c = mesh.points[f[2]];
+    for (int i = 0; i <= n; ++i) {
+      for (int j = 0; j <= n - i; ++j) {
+        const double u = static_cast<double>(i) / n;
+        const double v = static_cast<double>(j) / n;
+        const Vec3 p = a + u * (b - a) + v * (c - a);
+        const auto q = oracle.closest_surface_point(p);
+        if (q) out.mesh_to_surface = std::max(out.mesh_to_surface,
+                                              distance(p, *q));
+      }
+    }
+  }
+
+  // surface -> mesh: every surface voxel, refined onto the interface.
+  const LabeledImage3D& img = oracle.image();
+  TriangleGrid grid(mesh, 2.0 * img.min_spacing());
+  for (int z = 0; z < img.nz(); ++z) {
+    for (int y = 0; y < img.ny(); ++y) {
+      for (int x = 0; x < img.nx(); ++x) {
+        if (!img.is_surface_voxel({x, y, z})) continue;
+        const auto q = oracle.closest_surface_point(img.voxel_center({x, y, z}));
+        if (!q) continue;
+        out.surface_to_mesh =
+            std::max(out.surface_to_mesh, grid.distance_to(*q));
+      }
+    }
+  }
+  return out;
+}
+
+HausdorffResult hausdorff_distance(const TetMesh& mesh,
+                                   const IsosurfaceOracle& oracle,
+                                   int samples_per_edge) {
+  return hausdorffdistance_impl(mesh, oracle, std::max(1, samples_per_edge));
+}
+
+}  // namespace pi2m

@@ -1,0 +1,56 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/tetra.hpp"
+
+namespace pi2m {
+
+QualityReport evaluate_quality(const TetMesh& mesh) {
+  QualityReport r;
+  r.num_tets = mesh.tets.size();
+  r.num_boundary_tris = mesh.boundary_tris.size();
+
+  double rho_sum = 0.0;
+  for (const auto& t : mesh.tets) {
+    const Vec3& a = mesh.points[t[0]];
+    const Vec3& b = mesh.points[t[1]];
+    const Vec3& c = mesh.points[t[2]];
+    const Vec3& d = mesh.points[t[3]];
+
+    const double rho = radius_edge_ratio(a, b, c, d);
+    if (rho < 1e299) {
+      r.max_radius_edge = std::max(r.max_radius_edge, rho);
+      rho_sum += rho;
+      const auto bin = static_cast<std::size_t>(
+          std::min(16.0, std::floor(rho / 0.25)));
+      ++r.radius_edge_histogram[bin];
+    }
+
+    for (const double ang : dihedral_angles(a, b, c, d)) {
+      r.min_dihedral_deg = std::min(r.min_dihedral_deg, ang);
+      r.max_dihedral_deg = std::max(r.max_dihedral_deg, ang);
+      const auto bin = static_cast<std::size_t>(
+          std::clamp(std::floor(ang / 10.0), 0.0, 17.0));
+      ++r.dihedral_histogram[bin];
+    }
+
+    const double vol = std::fabs(signed_volume(a, b, c, d));
+    r.min_volume = std::min(r.min_volume, vol);
+    r.total_volume += vol;
+  }
+  if (r.num_tets > 0) rho_sum /= static_cast<double>(r.num_tets);
+  r.mean_radius_edge = rho_sum;
+
+  for (const auto& f : mesh.boundary_tris) {
+    r.min_boundary_planar_deg = std::min(
+        r.min_boundary_planar_deg,
+        min_triangle_angle(mesh.points[f[0]], mesh.points[f[1]],
+                           mesh.points[f[2]]));
+  }
+  if (mesh.tets.empty()) r.min_volume = 0.0;
+  return r;
+}
+
+}  // namespace pi2m

@@ -1,0 +1,130 @@
+#include "predicates/expansion.hpp"
+
+namespace pi2m::exact {
+namespace {
+
+// fast_expansion_sum_zeroelim (Shewchuk, Fig. 10): merge two expansions into
+// their exact sum, eliding zeros. Both inputs are in increasing-magnitude,
+// non-overlapping form; so is the output.
+std::vector<double> sum_zeroelim(const std::vector<double>& e,
+                                 const std::vector<double>& f) {
+  std::vector<double> h;
+  h.reserve(e.size() + f.size());
+  if (e.empty()) return f;
+  if (f.empty()) return e;
+
+  std::size_t ei = 0, fi = 0;
+  double enow = e[0], fnow = f[0];
+  double q;
+  if ((fnow > enow) == (fnow > -enow)) {
+    q = enow;
+    ++ei;
+  } else {
+    q = fnow;
+    ++fi;
+  }
+  double qnew, hh;
+  if (ei < e.size() && fi < f.size()) {
+    enow = e[ei];
+    fnow = f[fi];
+    if ((fnow > enow) == (fnow > -enow)) {
+      fast_two_sum(enow, q, qnew, hh);
+      ++ei;
+    } else {
+      fast_two_sum(fnow, q, qnew, hh);
+      ++fi;
+    }
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+    while (ei < e.size() && fi < f.size()) {
+      enow = e[ei];
+      fnow = f[fi];
+      if ((fnow > enow) == (fnow > -enow)) {
+        two_sum(q, enow, qnew, hh);
+        ++ei;
+      } else {
+        two_sum(q, fnow, qnew, hh);
+        ++fi;
+      }
+      q = qnew;
+      if (hh != 0.0) h.push_back(hh);
+    }
+  }
+  while (ei < e.size()) {
+    two_sum(q, e[ei], qnew, hh);
+    ++ei;
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  while (fi < f.size()) {
+    two_sum(q, f[fi], qnew, hh);
+    ++fi;
+    q = qnew;
+    if (hh != 0.0) h.push_back(hh);
+  }
+  if (q != 0.0 || h.empty()) {
+    if (q != 0.0) h.push_back(q);
+  }
+  return h;
+}
+
+// scale_expansion_zeroelim (Shewchuk, Fig. 13): exact product expansion * b.
+std::vector<double> scale_zeroelim(const std::vector<double>& e, double b) {
+  std::vector<double> h;
+  if (e.empty() || b == 0.0) return h;
+  h.reserve(2 * e.size());
+  double q, hh;
+  two_prod(e[0], b, q, hh);
+  if (hh != 0.0) h.push_back(hh);
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    double p1, p0, sum;
+    two_prod(e[i], b, p1, p0);
+    two_sum(q, p0, sum, hh);
+    if (hh != 0.0) h.push_back(hh);
+    fast_two_sum(p1, sum, q, hh);
+    if (hh != 0.0) h.push_back(hh);
+  }
+  if (q != 0.0 || h.empty()) {
+    if (q != 0.0) h.push_back(q);
+  }
+  return h;
+}
+
+}  // namespace
+
+Expansion operator+(const Expansion& a, const Expansion& b) {
+  Expansion r;
+  r.comps_ = sum_zeroelim(a.comps_, b.comps_);
+  return r;
+}
+
+Expansion Expansion::negated() const {
+  Expansion r;
+  r.comps_ = comps_;
+  for (double& c : r.comps_) c = -c;
+  return r;
+}
+
+Expansion operator-(const Expansion& a, const Expansion& b) {
+  return a + b.negated();
+}
+
+Expansion operator*(const Expansion& a, double s) {
+  Expansion r;
+  r.comps_ = scale_zeroelim(a.comps_, s);
+  return r;
+}
+
+Expansion operator*(const Expansion& a, const Expansion& b) {
+  // Distribute over b's components; each partial product is exact, and the
+  // exact sums keep the result exact. Sizes stay small (predicates use
+  // expansions of a handful of components), so the quadratic distribution
+  // is fine and simple.
+  Expansion acc;
+  for (double c : b.components()) {
+    acc = acc + (a * c);
+  }
+  return acc;
+}
+
+}  // namespace pi2m::exact

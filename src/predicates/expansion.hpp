@@ -1,0 +1,94 @@
+// Floating-point expansion arithmetic (Shewchuk 1997).
+//
+// An expansion represents a real number exactly as an unevaluated sum of
+// IEEE-754 doubles, ordered by increasing magnitude and non-overlapping.
+// These primitives are the substrate for the exact orientation / insphere
+// predicates in predicates.hpp; PI2M (like CGAL and TetGen, per the paper
+// §7) relies on exact predicates for robustness.
+//
+// All operations here are exact: no rounding error is lost. The code assumes
+// round-to-nearest IEEE-754 doubles and must be compiled without value-
+// changing FP optimizations (-ffp-contract=off is set project-wide; explicit
+// std::fma is used where contraction is *wanted*).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace pi2m::exact {
+
+/// x + y == a + b exactly, |y| <= ulp(x)/2. No magnitude precondition.
+inline void two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bv = x - a;
+  const double av = x - bv;
+  y = (a - av) + (b - bv);
+}
+
+/// Requires |a| >= |b| (or a == 0).
+inline void fast_two_sum(double a, double b, double& x, double& y) {
+  x = a + b;
+  const double bv = x - a;
+  y = b - bv;
+}
+
+/// x + y == a - b exactly.
+inline void two_diff(double a, double b, double& x, double& y) {
+  x = a - b;
+  const double bv = a - x;
+  const double av = x + bv;
+  y = (a - av) + (bv - b);
+}
+
+/// x + y == a * b exactly (uses hardware FMA, exact by IEEE-754).
+inline void two_prod(double a, double b, double& x, double& y) {
+  x = a * b;
+  y = std::fma(a, b, -x);
+}
+
+/// An exact multi-term value. Components are stored in increasing-magnitude
+/// order (Shewchuk's convention); zero components are elided.
+class Expansion {
+ public:
+  Expansion() = default;
+  /*implicit*/ Expansion(double v) {
+    if (v != 0.0) comps_.push_back(v);
+  }
+  /// Exact two-term value hi+lo (e.g. the result of two_diff).
+  static Expansion from_two(double hi, double lo) {
+    Expansion e;
+    if (lo != 0.0) e.comps_.push_back(lo);
+    if (hi != 0.0) e.comps_.push_back(hi);
+    return e;
+  }
+
+  [[nodiscard]] std::size_t size() const { return comps_.size(); }
+  [[nodiscard]] bool is_zero() const { return comps_.empty(); }
+  [[nodiscard]] const std::vector<double>& components() const { return comps_; }
+
+  /// The most significant component dominates the sign of the exact value.
+  [[nodiscard]] int sign() const {
+    if (comps_.empty()) return 0;
+    const double m = comps_.back();
+    return (m > 0.0) - (m < 0.0);
+  }
+
+  /// Approximate double value (correct to within one ulp of the exact sum).
+  [[nodiscard]] double estimate() const {
+    double s = 0.0;
+    for (double c : comps_) s += c;
+    return s;
+  }
+
+  friend Expansion operator+(const Expansion& a, const Expansion& b);
+  friend Expansion operator-(const Expansion& a, const Expansion& b);
+  friend Expansion operator*(const Expansion& a, double s);
+  friend Expansion operator*(const Expansion& a, const Expansion& b);
+  [[nodiscard]] Expansion negated() const;
+
+ private:
+  std::vector<double> comps_;
+};
+
+}  // namespace pi2m::exact

@@ -1,0 +1,176 @@
+#include "predicates/predicates.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "predicates/expansion.hpp"
+
+namespace pi2m {
+namespace {
+
+// Machine epsilon for round-to-nearest doubles (Shewchuk's epsilon = 2^-53).
+constexpr double kEps = 1.1102230246251565e-16;
+// Static filter constants from Shewchuk, "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates", 1997. They bound the
+// total rounding error (including the initial coordinate translations) of
+// the straightforward double evaluation.
+constexpr double kO3dErrBoundA = (7.0 + 56.0 * kEps) * kEps;
+constexpr double kIspErrBoundA = (16.0 + 224.0 * kEps) * kEps;
+
+std::atomic<unsigned long long> g_o3d_calls{0};
+std::atomic<unsigned long long> g_o3d_exact{0};
+std::atomic<unsigned long long> g_isp_calls{0};
+std::atomic<unsigned long long> g_isp_exact{0};
+
+using exact::Expansion;
+using exact::two_diff;
+
+Expansion diff(double a, double b) {
+  double hi, lo;
+  two_diff(a, b, hi, lo);
+  return Expansion::from_two(hi, lo);
+}
+
+int orient3d_exact(const Vec3& a, const Vec3& b, const Vec3& c,
+                   const Vec3& d) {
+  const Expansion adx = diff(a.x, d.x), ady = diff(a.y, d.y), adz = diff(a.z, d.z);
+  const Expansion bdx = diff(b.x, d.x), bdy = diff(b.y, d.y), bdz = diff(b.z, d.z);
+  const Expansion cdx = diff(c.x, d.x), cdy = diff(c.y, d.y), cdz = diff(c.z, d.z);
+
+  const Expansion det = adz * (bdx * cdy - cdx * bdy) +
+                        bdz * (cdx * ady - adx * cdy) +
+                        cdz * (adx * bdy - bdx * ady);
+  return det.sign();
+}
+
+int insphere_exact(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+                   const Vec3& e) {
+  const Expansion aex = diff(a.x, e.x), aey = diff(a.y, e.y), aez = diff(a.z, e.z);
+  const Expansion bex = diff(b.x, e.x), bey = diff(b.y, e.y), bez = diff(b.z, e.z);
+  const Expansion cex = diff(c.x, e.x), cey = diff(c.y, e.y), cez = diff(c.z, e.z);
+  const Expansion dex = diff(d.x, e.x), dey = diff(d.y, e.y), dez = diff(d.z, e.z);
+
+  const Expansion ab = aex * bey - bex * aey;
+  const Expansion bc = bex * cey - cex * bey;
+  const Expansion cd = cex * dey - dex * cey;
+  const Expansion da = dex * aey - aex * dey;
+  const Expansion ac = aex * cey - cex * aey;
+  const Expansion bd = bex * dey - dex * bey;
+
+  const Expansion abc = aez * bc - bez * ac + cez * ab;
+  const Expansion bcd = bez * cd - cez * bd + dez * bc;
+  const Expansion cda = cez * da + dez * ac + aez * cd;
+  const Expansion dab = dez * ab + aez * bd + bez * da;
+
+  const Expansion alift = aex * aex + aey * aey + aez * aez;
+  const Expansion blift = bex * bex + bey * bey + bez * bez;
+  const Expansion clift = cex * cex + cey * cey + cez * cez;
+  const Expansion dlift = dex * dex + dey * dey + dez * dez;
+
+  const Expansion det =
+      (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+  return det.sign();
+}
+
+}  // namespace
+
+int orient3d(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  g_o3d_calls.fetch_add(1, std::memory_order_relaxed);
+
+  const double adx = a.x - d.x, ady = a.y - d.y, adz = a.z - d.z;
+  const double bdx = b.x - d.x, bdy = b.y - d.y, bdz = b.z - d.z;
+  const double cdx = c.x - d.x, cdy = c.y - d.y, cdz = c.z - d.z;
+
+  const double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+  const double cdxady = cdx * ady, adxcdy = adx * cdy;
+  const double adxbdy = adx * bdy, bdxady = bdx * ady;
+
+  const double det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) +
+                     cdz * (adxbdy - bdxady);
+
+  const double permanent =
+      (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * std::fabs(adz) +
+      (std::fabs(cdxady) + std::fabs(adxcdy)) * std::fabs(bdz) +
+      (std::fabs(adxbdy) + std::fabs(bdxady)) * std::fabs(cdz);
+  const double errbound = kO3dErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return (det > 0.0) - (det < 0.0);
+
+  g_o3d_exact.fetch_add(1, std::memory_order_relaxed);
+  return orient3d_exact(a, b, c, d);
+}
+
+int insphere(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+             const Vec3& e) {
+  g_isp_calls.fetch_add(1, std::memory_order_relaxed);
+
+  const double aex = a.x - e.x, aey = a.y - e.y, aez = a.z - e.z;
+  const double bex = b.x - e.x, bey = b.y - e.y, bez = b.z - e.z;
+  const double cex = c.x - e.x, cey = c.y - e.y, cez = c.z - e.z;
+  const double dex = d.x - e.x, dey = d.y - e.y, dez = d.z - e.z;
+
+  const double aexbey = aex * bey, bexaey = bex * aey;
+  const double bexcey = bex * cey, cexbey = cex * bey;
+  const double cexdey = cex * dey, dexcey = dex * cey;
+  const double dexaey = dex * aey, aexdey = aex * dey;
+  const double aexcey = aex * cey, cexaey = cex * aey;
+  const double bexdey = bex * dey, dexbey = dex * bey;
+
+  const double ab = aexbey - bexaey;
+  const double bc = bexcey - cexbey;
+  const double cd = cexdey - dexcey;
+  const double da = dexaey - aexdey;
+  const double ac = aexcey - cexaey;
+  const double bd = bexdey - dexbey;
+
+  const double abc = aez * bc - bez * ac + cez * ab;
+  const double bcd = bez * cd - cez * bd + dez * bc;
+  const double cda = cez * da + dez * ac + aez * cd;
+  const double dab = dez * ab + aez * bd + bez * da;
+
+  const double alift = aex * aex + aey * aey + aez * aez;
+  const double blift = bex * bex + bey * bey + bez * bez;
+  const double clift = cex * cex + cey * cey + cez * cez;
+  const double dlift = dex * dex + dey * dey + dez * dez;
+
+  const double det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+  const double aezplus = std::fabs(aez), bezplus = std::fabs(bez);
+  const double cezplus = std::fabs(cez), dezplus = std::fabs(dez);
+  const double aexbeyplus = std::fabs(aexbey), bexaeyplus = std::fabs(bexaey);
+  const double bexceyplus = std::fabs(bexcey), cexbeyplus = std::fabs(cexbey);
+  const double cexdeyplus = std::fabs(cexdey), dexceyplus = std::fabs(dexcey);
+  const double dexaeyplus = std::fabs(dexaey), aexdeyplus = std::fabs(aexdey);
+  const double aexceyplus = std::fabs(aexcey), cexaeyplus = std::fabs(cexaey);
+  const double bexdeyplus = std::fabs(bexdey), dexbeyplus = std::fabs(dexbey);
+
+  const double permanent =
+      ((cexdeyplus + dexceyplus) * bezplus + (dexbeyplus + bexdeyplus) * cezplus +
+       (bexceyplus + cexbeyplus) * dezplus) * alift +
+      ((dexaeyplus + aexdeyplus) * cezplus + (aexceyplus + cexaeyplus) * dezplus +
+       (cexdeyplus + dexceyplus) * aezplus) * blift +
+      ((aexbeyplus + bexaeyplus) * dezplus + (bexdeyplus + dexbeyplus) * aezplus +
+       (dexaeyplus + aexdeyplus) * bezplus) * clift +
+      ((bexceyplus + cexbeyplus) * aezplus + (cexaeyplus + aexceyplus) * bezplus +
+       (aexbeyplus + bexaeyplus) * cezplus) * dlift;
+  const double errbound = kIspErrBoundA * permanent;
+  if (det > errbound || -det > errbound) return (det > 0.0) - (det < 0.0);
+
+  g_isp_exact.fetch_add(1, std::memory_order_relaxed);
+  return insphere_exact(a, b, c, d, e);
+}
+
+PredicateCounters predicate_counters() {
+  return {g_o3d_calls.load(std::memory_order_relaxed),
+          g_o3d_exact.load(std::memory_order_relaxed),
+          g_isp_calls.load(std::memory_order_relaxed),
+          g_isp_exact.load(std::memory_order_relaxed)};
+}
+
+void reset_predicate_counters() {
+  g_o3d_calls.store(0, std::memory_order_relaxed);
+  g_o3d_exact.store(0, std::memory_order_relaxed);
+  g_isp_calls.store(0, std::memory_order_relaxed);
+  g_isp_exact.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pi2m

@@ -1,0 +1,50 @@
+// Robust geometric predicates: orient3d and insphere.
+//
+// Strategy (the same class of technique the paper adopts from CGAL [9,71]):
+// evaluate the determinant in plain doubles with a static forward error
+// bound (Shewchuk's "stage A" filter); when the filter cannot certify the
+// sign, fall back to a fully exact evaluation with expansion arithmetic.
+// The exact path is hit only near-degenerate inputs, so the common case
+// costs one determinant plus one comparison.
+#pragma once
+
+#include "geometry/vec3.hpp"
+
+namespace pi2m {
+
+/// Supported coordinate range: exactness holds while the intermediate
+/// degree-3 (orient3d) / degree-5 (insphere) products stay inside double
+/// range — roughly |x| <= 1e100 for orient3d and |x| <= 1e60 for insphere,
+/// the same envelope as Shewchuk's original predicates. Mesh coordinates
+/// (millimetres) are forty orders of magnitude away from the limits.
+
+/// Sign of the signed volume of tetrahedron (a,b,c,d):
+///   > 0  when d is below the plane through a,b,c (counterclockwise seen
+///        from above), i.e. the tetrahedron is positively oriented;
+///   = 0  when the four points are coplanar (exact);
+///   < 0  otherwise.
+int orient3d(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+
+/// Sign of the insphere determinant for the positively-oriented tetrahedron
+/// (a,b,c,d) and query point e:
+///   > 0  e lies strictly inside the circumsphere;
+///   = 0  e lies exactly on the circumsphere;
+///   < 0  e lies strictly outside.
+/// Precondition: orient3d(a,b,c,d) > 0. (Callers in the Delaunay kernel
+/// maintain positive orientation for every live cell.)
+int insphere(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+             const Vec3& e);
+
+/// Counters for filter effectiveness (benchmarked in bench_micro). These are
+/// process-wide, updated with relaxed atomics, and intended for reporting
+/// only.
+struct PredicateCounters {
+  unsigned long long orient3d_calls;
+  unsigned long long orient3d_exact;
+  unsigned long long insphere_calls;
+  unsigned long long insphere_exact;
+};
+PredicateCounters predicate_counters();
+void reset_predicate_counters();
+
+}  // namespace pi2m

@@ -1,0 +1,24 @@
+#include "runtime/stats.hpp"
+
+namespace pi2m {
+
+StatsTotals aggregate(const std::vector<ThreadStats>& stats) {
+  StatsTotals t;
+  for (const ThreadStats& s : stats) {
+    t.operations += s.operations.load(std::memory_order_relaxed);
+    t.insertions += s.insertions.load(std::memory_order_relaxed);
+    t.removals += s.removals.load(std::memory_order_relaxed);
+    t.rollbacks += s.rollbacks.load(std::memory_order_relaxed);
+    t.failed_ops += s.failed_ops.load(std::memory_order_relaxed);
+    t.cells_created += s.cells_created.load(std::memory_order_relaxed);
+    t.steals_intra_socket += s.steals_intra_socket.load(std::memory_order_relaxed);
+    t.steals_intra_blade += s.steals_intra_blade.load(std::memory_order_relaxed);
+    t.steals_inter_blade += s.steals_inter_blade.load(std::memory_order_relaxed);
+    t.contention_sec += s.contention_ns.load(std::memory_order_relaxed) * 1e-9;
+    t.loadbalance_sec += s.loadbalance_ns.load(std::memory_order_relaxed) * 1e-9;
+    t.rollback_sec += s.rollback_ns.load(std::memory_order_relaxed) * 1e-9;
+  }
+  return t;
+}
+
+}  // namespace pi2m

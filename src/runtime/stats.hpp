@@ -1,0 +1,90 @@
+// Per-thread statistics and wasted-cycle accounting.
+//
+// The paper's evaluation (§5.5, §6) decomposes wasted cycles into three
+// overheads: contention overhead (busy-waiting on Contention Lists),
+// load-balance overhead (busy-waiting on Begging Lists), and rollback
+// overhead (partial work discarded on a rollback). Counters are relaxed
+// atomics so a sampler thread can read them live (Figure 6's timeline).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace pi2m {
+
+/// Monotonic seconds.
+inline double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct alignas(64) ThreadStats {
+  std::atomic<std::uint64_t> operations{0};
+  std::atomic<std::uint64_t> insertions{0};
+  std::atomic<std::uint64_t> removals{0};
+  std::atomic<std::uint64_t> rollbacks{0};
+  std::atomic<std::uint64_t> failed_ops{0};
+  std::atomic<std::uint64_t> cells_created{0};
+
+  // Work-stealing locality (defined against the virtual topology).
+  std::atomic<std::uint64_t> steals_intra_socket{0};
+  std::atomic<std::uint64_t> steals_intra_blade{0};
+  std::atomic<std::uint64_t> steals_inter_blade{0};
+
+  // Wasted-cycle accounting in nanoseconds (atomics for live sampling).
+  std::atomic<std::uint64_t> contention_ns{0};
+  std::atomic<std::uint64_t> loadbalance_ns{0};
+  std::atomic<std::uint64_t> rollback_ns{0};
+
+  void add_contention(double sec) {
+    contention_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
+                            std::memory_order_relaxed);
+  }
+  void add_loadbalance(double sec) {
+    loadbalance_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
+                             std::memory_order_relaxed);
+  }
+  void add_rollback_time(double sec) {
+    rollback_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
+                          std::memory_order_relaxed);
+  }
+};
+
+/// Aggregated view over all threads (plain values).
+struct StatsTotals {
+  std::uint64_t operations = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t removals = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t failed_ops = 0;
+  std::uint64_t cells_created = 0;
+  std::uint64_t steals_intra_socket = 0;
+  std::uint64_t steals_intra_blade = 0;
+  std::uint64_t steals_inter_blade = 0;
+  double contention_sec = 0;
+  double loadbalance_sec = 0;
+  double rollback_sec = 0;
+
+  [[nodiscard]] double total_overhead_sec() const {
+    return contention_sec + loadbalance_sec + rollback_sec;
+  }
+  [[nodiscard]] std::uint64_t total_steals() const {
+    return steals_intra_socket + steals_intra_blade + steals_inter_blade;
+  }
+};
+
+StatsTotals aggregate(const std::vector<ThreadStats>& stats);
+
+/// One sample of the Figure-6 timeline: cumulative overhead seconds (all
+/// threads together) as a function of wall time.
+struct TimelineSample {
+  double wall_sec = 0;
+  double contention_sec = 0;
+  double loadbalance_sec = 0;
+  double rollback_sec = 0;
+  std::uint64_t operations = 0;
+};
+
+}  // namespace pi2m

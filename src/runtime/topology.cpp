@@ -1,0 +1,26 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace pi2m {
+
+Topology::Topology(int nthreads, TopologySpec spec) : nthreads_(nthreads) {
+  PI2M_CHECK(nthreads >= 1, "topology needs at least one thread");
+  PI2M_CHECK(spec.cores_per_socket >= 1 && spec.sockets_per_blade >= 1,
+             "invalid topology spec");
+  tps_ = spec.cores_per_socket;
+  tpb_ = spec.cores_per_socket * spec.sockets_per_blade;
+  nsockets_ = (nthreads + tps_ - 1) / tps_;
+  nblades_ = (nthreads + tpb_ - 1) / tpb_;
+}
+
+std::string Topology::describe() const {
+  return std::to_string(nthreads_) + " threads = " +
+         std::to_string(nblades_) + " blade(s) x " +
+         std::to_string(tpb_ / tps_) + " socket(s) x " + std::to_string(tps_) +
+         " core(s)";
+}
+
+}  // namespace pi2m

@@ -1,0 +1,78 @@
+// Begging-list load balancers (paper §4.4 and §6.1).
+//
+// An idle thread advertises itself on a Begging List (BL); a working thread
+// that completes an operation and has enough poor elements hands some to
+// the first advertised beggar. Two schemes:
+//
+//  * RWS — the paper's baseline: one global begging list.
+//  * HWS — Hierarchical Work Stealing: three levels. BL1 is shared by the
+//    threads of one (virtual) socket and holds at most
+//    threads_per_socket-1 beggars; BL2 by the sockets of one blade
+//    (at most sockets_per_blade-1); BL3 is machine-wide (at most one
+//    beggar per blade). Givers serve BL1 of their own socket first, then
+//    BL2 of their blade, then BL3, which keeps stolen work local and
+//    reduces inter-blade traffic (paper Fig. 5b).
+//
+// The actual blocking loop lives in the refiner (it must also watch its
+// inbox and the done flag); the balancer only manages membership, the
+// per-thread wake flags, and steal-locality classification.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/topology.hpp"
+
+namespace pi2m {
+
+enum class LbKind : std::uint8_t { RWS, HWS };
+
+const char* to_string(LbKind k);
+
+/// Locality of a work transfer, measured against the virtual topology.
+enum class StealLevel : std::uint8_t { IntraSocket = 0, IntraBlade = 1, InterBlade = 2 };
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(const Topology& topo);
+  virtual ~LoadBalancer() = default;
+
+  /// Registers `tid` as idle. The caller then spins on work_flag(tid).
+  virtual void enqueue_beggar(int tid) = 0;
+
+  /// Pops the most local beggar for `giver`; -1 when none. Fills `level`
+  /// with the transfer locality.
+  virtual int pop_beggar(int giver, StealLevel* level) = 0;
+
+  /// Removes `tid` from the lists if still present (idle loop aborted).
+  virtual void cancel(int tid) = 0;
+
+  /// True while any thread is registered as begging.
+  [[nodiscard]] virtual bool any_beggar() const = 0;
+
+  /// Set by the giver after filling the beggar's inbox; cleared by the
+  /// beggar on wake-up.
+  std::atomic<bool>& work_flag(int tid) { return flags_[tid].flag; }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ protected:
+  [[nodiscard]] StealLevel classify(int giver, int beggar) const;
+
+  Topology topo_;
+
+ private:
+  struct alignas(64) Flag {
+    std::atomic<bool> flag{false};
+  };
+  std::vector<Flag> flags_;
+};
+
+std::unique_ptr<LoadBalancer> make_load_balancer(LbKind kind,
+                                                 const Topology& topo);
+
+}  // namespace pi2m

@@ -1,0 +1,33 @@
+// Small shared utilities used across all PI2M modules.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace pi2m {
+
+/// Identifier types. 32-bit indices keep cells at half a cache line and are
+/// ample for the mesh sizes this build targets (< 4e9 cells).
+using VertexId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
+inline constexpr CellId kNoCell = 0xFFFFFFFFu;
+
+/// Fatal invariant violation: print and abort. Used for conditions that
+/// indicate a bug in this library, never for bad user input.
+[[noreturn]] inline void fatal(std::string_view msg) {
+  std::fprintf(stderr, "pi2m fatal: %.*s\n", static_cast<int>(msg.size()),
+               msg.data());
+  std::abort();
+}
+
+#define PI2M_CHECK(cond, msg)      \
+  do {                             \
+    if (!(cond)) ::pi2m::fatal(msg); \
+  } while (0)
+
+}  // namespace pi2m

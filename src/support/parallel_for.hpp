@@ -1,0 +1,35 @@
+// Minimal fork-join helper for coarse-grained data-parallel loops (EDT rows,
+// final mesh scans). The PI2M refiner itself uses its own long-lived worker
+// threads (runtime/); this helper is only for pre/post-processing phases.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pi2m {
+
+/// Runs fn(begin, end) over [0, n) split into contiguous blocks across
+/// `threads` std::threads (the calling thread executes block 0).
+inline void parallel_blocks(std::size_t n, int threads,
+                            const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t t = std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  const std::size_t chunk = (n + t - 1) / t;
+  std::vector<std::thread> pool;
+  pool.reserve(t - 1);
+  for (std::size_t i = 1; i < t; ++i) {
+    const std::size_t b = i * chunk;
+    const std::size_t e = std::min(n, b + chunk);
+    if (b >= e) break;
+    pool.emplace_back(fn, b, e);
+  }
+  fn(0, std::min(n, chunk));
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace pi2m

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "delaunay/local_dt.hpp"
+#include "delaunay/mesh.hpp"
+#include "delaunay/operations.hpp"
+#include "geometry/tetra.hpp"
+#include "predicates/predicates.hpp"
+
+namespace pi2m {
+namespace {
+
+Aabb unit_box() { return {{0, 0, 0}, {1, 1, 1}}; }
+
+TEST(Mesh, InitialBoxIsSixTets) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  EXPECT_EQ(mesh.count_alive_cells(), 6u);
+  EXPECT_EQ(mesh.vertex_count(), 8u);
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-12);
+  EXPECT_EQ(mesh.check_integrity(/*check_delaunay=*/false), "");
+}
+
+TEST(Mesh, VertexLocking) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  std::int32_t held = -1;
+  EXPECT_TRUE(mesh.try_lock_vertex(0, 3, held));
+  EXPECT_TRUE(mesh.try_lock_vertex(0, 3, held));  // reentrant
+  EXPECT_FALSE(mesh.try_lock_vertex(0, 5, held));
+  EXPECT_EQ(held, 3);
+  mesh.unlock_vertex(0, 3);
+  EXPECT_TRUE(mesh.try_lock_vertex(0, 5, held));
+  mesh.unlock_vertex(0, 5);
+}
+
+TEST(ChunkedStore, GrowthAndStability) {
+  ChunkedStore<int> store(100000);
+  std::vector<int*> addrs;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t id = store.allocate();
+    store[id] = i;
+    if (i % 9999 == 0) addrs.push_back(&store[id]);
+  }
+  // Addresses captured early must remain valid after growth.
+  EXPECT_EQ(*addrs[0], 0);
+  EXPECT_EQ(store[49999], 49999);
+  EXPECT_EQ(store.size(), 50000u);
+}
+
+TEST(ChunkedStore, ConcurrentAllocation) {
+  ChunkedStore<std::uint32_t> store(1 << 18);
+  constexpr int kThreads = 4, kPer = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&store, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const std::uint32_t id = store.allocate();
+        store[id] = static_cast<std::uint32_t>(t);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(store.size(), kThreads * kPer);
+  std::array<int, kThreads> counts{};
+  for (std::uint32_t i = 0; i < store.size(); ++i) ++counts[store[i]];
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(counts[t], kPer);
+}
+
+TEST(Locate, FindsContainingCell) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> u(0.01, 0.99);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{u(rng), u(rng), u(rng)};
+    const LocateResult loc = locate_point(mesh, p, 0);
+    ASSERT_TRUE(loc.ok);
+    const auto pos = mesh.positions(loc.cell);
+    for (int f = 0; f < 4; ++f) {
+      EXPECT_GE(orient3d(pos[kFaceOf[f][0]], pos[kFaceOf[f][1]],
+                         pos[kFaceOf[f][2]], p),
+                0);
+    }
+  }
+}
+
+TEST(Insert, SinglePoint) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  OpScratch s;
+  const OpResult r =
+      insert_point(mesh, {0.5, 0.5, 0.5}, VertexKind::Circumcenter, 0, 0, s);
+  ASSERT_EQ(r.status, OpStatus::Success);
+  EXPECT_NE(r.new_vertex, kNoVertex);
+  EXPECT_FALSE(s.created.empty());
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-12);
+  // All vertex locks must have been released.
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    EXPECT_EQ(mesh.vertex(v).owner.load(), -1);
+  }
+}
+
+TEST(Insert, DuplicateFails) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  OpScratch s;
+  ASSERT_EQ(insert_point(mesh, {0.5, 0.5, 0.5}, VertexKind::Circumcenter, 0, 0, s)
+                .status,
+            OpStatus::Success);
+  EXPECT_EQ(insert_point(mesh, {0.5, 0.5, 0.5}, VertexKind::Circumcenter, 0, 0, s)
+                .status,
+            OpStatus::Failed);
+}
+
+TEST(Insert, OutsideBoxFails) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  OpScratch s;
+  EXPECT_EQ(insert_point(mesh, {1.5, 0.5, 0.5}, VertexKind::Circumcenter, 0, 0, s)
+                .status,
+            OpStatus::Failed);
+}
+
+class RandomInsertion : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomInsertion, DelaunayAfterManyInserts) {
+  DelaunayMesh mesh(unit_box(), 10000, 40000);
+  OpScratch s;
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> u(0.02, 0.98);
+  CellId hint = 0;
+  int inserted = 0;
+  for (int i = 0; i < 250; ++i) {
+    const OpResult r = insert_point(mesh, {u(rng), u(rng), u(rng)},
+                                    VertexKind::Circumcenter, hint, 0, s);
+    if (r.status == OpStatus::Success) {
+      ++inserted;
+      hint = s.created.front();
+    }
+  }
+  EXPECT_GT(inserted, 240);
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInsertion,
+                         ::testing::Values(2u, 3u, 5u, 8u, 13u));
+
+TEST(Insert, GridPointsWithCosphericalDegeneracies) {
+  // Regular grid points produce many cospherical configurations; the exact
+  // tie rule (on-sphere = outside) must keep the structure consistent.
+  DelaunayMesh mesh(unit_box(), 10000, 40000);
+  OpScratch s;
+  int ok = 0;
+  for (int x = 1; x <= 4; ++x) {
+    for (int y = 1; y <= 4; ++y) {
+      for (int z = 1; z <= 4; ++z) {
+        const Vec3 p{x / 5.0, y / 5.0, z / 5.0};
+        const OpResult r =
+            insert_point(mesh, p, VertexKind::Circumcenter, 0, 0, s);
+        if (r.status == OpStatus::Success) ++ok;
+      }
+    }
+  }
+  EXPECT_EQ(ok, 64);
+  EXPECT_EQ(mesh.check_integrity(false), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
+}
+
+TEST(Remove, InsertThenRemoveRestoresDelaunay) {
+  DelaunayMesh mesh(unit_box(), 10000, 40000);
+  OpScratch s;
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> u(0.1, 0.9);
+  std::vector<VertexId> inserted;
+  for (int i = 0; i < 60; ++i) {
+    const OpResult r = insert_point(mesh, {u(rng), u(rng), u(rng)},
+                                    VertexKind::Circumcenter, 0, 0, s);
+    if (r.status == OpStatus::Success) inserted.push_back(r.new_vertex);
+  }
+  ASSERT_GT(inserted.size(), 50u);
+  const double vol_before = mesh.total_volume();
+
+  // Remove every third vertex.
+  int removed = 0;
+  for (std::size_t i = 0; i < inserted.size(); i += 3) {
+    const OpResult r = remove_vertex(mesh, inserted[i], 0, s);
+    if (r.status == OpStatus::Success) {
+      ++removed;
+      EXPECT_TRUE(mesh.vertex(inserted[i]).dead.load());
+    }
+  }
+  EXPECT_GT(removed, 10);
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), vol_before, 1e-9);
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    EXPECT_EQ(mesh.vertex(v).owner.load(), -1);
+  }
+}
+
+TEST(Remove, BoxVertexRefused) {
+  DelaunayMesh mesh(unit_box(), 1000, 1000);
+  OpScratch s;
+  EXPECT_EQ(remove_vertex(mesh, mesh.box_vertices()[0], 0, s).status,
+            OpStatus::Failed);
+}
+
+/// Seeds `mesh` with `n` jittered points so vertex links are generic (an
+/// exactly-cospherical link — e.g. the bare box corners — makes removal
+/// legitimately abort, per the documented degenerate-ball policy).
+void seed_random_points(DelaunayMesh& mesh, int n, unsigned seed) {
+  OpScratch s;
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(0.05, 0.95);
+  for (int i = 0; i < n; ++i) {
+    insert_point(mesh, {u(rng), u(rng), u(rng)}, VertexKind::Circumcenter, 0,
+                 0, s);
+  }
+}
+
+TEST(Remove, DeadVertexRefused) {
+  DelaunayMesh mesh(unit_box(), 1000, 8000);
+  seed_random_points(mesh, 40, 31);
+  OpScratch s;
+  const OpResult r =
+      insert_point(mesh, {0.49, 0.52, 0.47}, VertexKind::Circumcenter, 0, 0, s);
+  ASSERT_EQ(r.status, OpStatus::Success);
+  ASSERT_EQ(remove_vertex(mesh, r.new_vertex, 0, s).status, OpStatus::Success);
+  EXPECT_EQ(remove_vertex(mesh, r.new_vertex, 0, s).status, OpStatus::Failed);
+}
+
+TEST(Remove, ConflictWhenVertexHeld) {
+  DelaunayMesh mesh(unit_box(), 1000, 8000);
+  seed_random_points(mesh, 40, 33);
+  OpScratch s;
+  const OpResult r =
+      insert_point(mesh, {0.41, 0.63, 0.52}, VertexKind::Circumcenter, 0, 0, s);
+  ASSERT_EQ(r.status, OpStatus::Success);
+  std::int32_t held = -1;
+  ASSERT_TRUE(mesh.try_lock_vertex(r.new_vertex, /*tid=*/9, held));
+  OpScratch s2;
+  const OpResult rr = remove_vertex(mesh, r.new_vertex, /*tid=*/0, s2);
+  EXPECT_EQ(rr.status, OpStatus::Conflict);
+  EXPECT_EQ(rr.conflicting_thread, 9);
+  mesh.unlock_vertex(r.new_vertex, 9);
+  EXPECT_EQ(remove_vertex(mesh, r.new_vertex, 0, s2).status, OpStatus::Success);
+}
+
+TEST(LocalDelaunay, CubeCorners) {
+  std::vector<Vec3> pts;
+  for (int b = 0; b < 8; ++b) {
+    pts.push_back({double(b & 1), double((b >> 1) & 1), double((b >> 2) & 1)});
+  }
+  const LocalDelaunay dt(pts);
+  ASSERT_TRUE(dt.ok());
+  // The non-aux tets must tile the cube: total volume 1.
+  double vol = 0.0;
+  for (const auto& t : dt.tets()) {
+    if (!t.alive) continue;
+    bool aux = false;
+    for (int v : t.v) aux = aux || LocalDelaunay::is_aux(v);
+    if (aux) continue;
+    vol += signed_volume(dt.point(t.v[0]), dt.point(t.v[1]), dt.point(t.v[2]),
+                         dt.point(t.v[3]));
+  }
+  EXPECT_NEAR(vol, 1.0, 1e-9);
+}
+
+TEST(LocalDelaunay, DuplicatePointFails) {
+  std::vector<Vec3> pts{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {0, 0, 0}};
+  const LocalDelaunay dt(pts);
+  EXPECT_FALSE(dt.ok());
+}
+
+// --- concurrent insertion stress ---------------------------------------
+
+TEST(ConcurrentInsert, ParallelThreadsKeepInvariants) {
+  DelaunayMesh mesh(unit_box(), 1 << 16, 1 << 19);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  std::atomic<int> successes{0}, conflicts{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      OpScratch s;
+      std::mt19937 rng(1000 + t);
+      std::uniform_real_distribution<double> u(0.02, 0.98);
+      CellId hint = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const Vec3 p{u(rng), u(rng), u(rng)};
+        const OpResult r = insert_point(mesh, p, VertexKind::Circumcenter,
+                                        hint, t, s);
+        if (r.status == OpStatus::Success) {
+          successes.fetch_add(1);
+          hint = s.created.front();
+        } else if (r.status == OpStatus::Conflict) {
+          conflicts.fetch_add(1);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_GT(successes.load(), kThreads * kPerThread / 2);
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    EXPECT_EQ(mesh.vertex(v).owner.load(), -1) << "leaked lock on " << v;
+  }
+}
+
+TEST(ConcurrentMixed, InsertAndRemoveRace) {
+  DelaunayMesh mesh(unit_box(), 1 << 16, 1 << 19);
+  constexpr int kThreads = 4;
+  std::atomic<int> ins{0}, rem{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      OpScratch s;
+      std::mt19937 rng(2000 + t);
+      std::uniform_real_distribution<double> u(0.05, 0.95);
+      std::vector<VertexId> mine;
+      for (int i = 0; i < 300; ++i) {
+        if (!mine.empty() && i % 4 == 3) {
+          const VertexId victim = mine.back();
+          mine.pop_back();
+          if (remove_vertex(mesh, victim, t, s).status == OpStatus::Success) {
+            rem.fetch_add(1);
+          }
+        } else {
+          const OpResult r = insert_point(mesh, {u(rng), u(rng), u(rng)},
+                                          VertexKind::Circumcenter, 0, t, s);
+          if (r.status == OpStatus::Success) {
+            ins.fetch_add(1);
+            mine.push_back(r.new_vertex);
+          }
+        }
+        if (i % 16 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_GT(ins.load(), 300);
+  EXPECT_GT(rem.load(), 20);
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pi2m

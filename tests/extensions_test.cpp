@@ -1,0 +1,280 @@
+// Tests for the extension modules: MetaImage I/O and quality-guarded
+// smoothing (the paper's stated future work).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/pi2m.hpp"
+#include "core/smoothing.hpp"
+#include "imaging/phantom.hpp"
+#include "imaging/resample.hpp"
+#include "io/image_io.hpp"
+#include "io/writers.hpp"
+#include "metrics/quality.hpp"
+
+namespace pi2m {
+namespace {
+
+TEST(ImageIo, MhaRoundTrip) {
+  LabeledImage3D img = phantom::abdominal(14, 11, 9, {0.5, 1.25, 2.0});
+  const std::string path = ::testing::TempDir() + "/roundtrip.mha";
+  ASSERT_TRUE(io::write_mha(img, path));
+
+  std::string error;
+  const auto back = io::read_mha(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->nx(), img.nx());
+  EXPECT_EQ(back->ny(), img.ny());
+  EXPECT_EQ(back->nz(), img.nz());
+  EXPECT_EQ(back->spacing(), img.spacing());
+  EXPECT_EQ(back->origin(), img.origin());
+  EXPECT_EQ(back->raw(), img.raw());
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadUshort) {
+  // Hand-craft a MET_USHORT image (little endian).
+  const std::string path = ::testing::TempDir() + "/ushort.mha";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ObjectType = Image\nNDims = 3\nDimSize = 2 1 1\n"
+        << "ElementSpacing = 1 1 1\nElementType = MET_USHORT\n"
+        << "ElementDataFile = LOCAL\n";
+    const unsigned char data[4] = {7, 0, 200, 0};
+    out.write(reinterpret_cast<const char*>(data), 4);
+  }
+  const auto img = io::read_mha(path);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(img->at({0, 0, 0}), 7);
+  EXPECT_EQ(img->at({1, 0, 0}), 200);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsMalformed) {
+  const std::string path = ::testing::TempDir() + "/bad.mha";
+  std::string error;
+
+  auto write_and_try = [&](const std::string& content) {
+    std::ofstream(path, std::ios::binary) << content;
+    const auto r = io::read_mha(path, &error);
+    return r.has_value();
+  };
+  EXPECT_FALSE(io::read_mha("/nonexistent/nope.mha", &error).has_value());
+  EXPECT_FALSE(write_and_try("NDims = 2\nElementDataFile = LOCAL\n"));
+  EXPECT_FALSE(write_and_try(
+      "NDims = 3\nDimSize = 2 2 2\nElementType = MET_FLOAT\n"
+      "ElementDataFile = LOCAL\n"));
+  EXPECT_FALSE(write_and_try(
+      "NDims = 3\nDimSize = 4 4 4\nElementType = MET_UCHAR\n"
+      "ElementDataFile = LOCAL\nxx"));  // truncated voxels
+  EXPECT_FALSE(write_and_try(
+      "NDims = 3\nDimSize = 2 2 2\nElementType = MET_UCHAR\n"
+      "ElementDataFile = voxels.raw\n"));  // external data unsupported
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, UshortLabelOverflowRejected) {
+  const std::string path = ::testing::TempDir() + "/overflow.mha";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ObjectType = Image\nNDims = 3\nDimSize = 1 1 1\n"
+        << "ElementType = MET_USHORT\nElementDataFile = LOCAL\n";
+    const unsigned char data[2] = {0x00, 0x01};  // 256
+    out.write(reinterpret_cast<const char*>(data), 2);
+  }
+  std::string error;
+  EXPECT_FALSE(io::read_mha(path, &error).has_value());
+  EXPECT_NE(error.find("255"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+class SmoothingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    img_ = phantom::ball(32, 0.7);
+    MeshingOptions opt;
+    opt.delta = 1.8;
+    opt.threads = 2;
+    res_ = mesh_image(img_, opt);
+    ASSERT_TRUE(res_.ok());
+    oracle_ = std::make_unique<IsosurfaceOracle>(img_, 2);
+  }
+
+  LabeledImage3D img_;
+  MeshingResult res_;
+  std::unique_ptr<IsosurfaceOracle> oracle_;
+};
+
+TEST_F(SmoothingTest, ImprovesWorstDihedralWithoutBreakingBounds) {
+  const QualityReport before = evaluate_quality(res_.mesh);
+  SmoothingOptions opt;
+  opt.iterations = 3;
+  opt.threads = 2;
+  const SmoothingReport rep = smooth_mesh(res_.mesh, *oracle_, opt);
+  const QualityReport after = evaluate_quality(res_.mesh);
+
+  EXPECT_GT(rep.moves_accepted, 0u);
+  EXPECT_GE(rep.min_dihedral_after, rep.min_dihedral_before);
+  // Quality guards: the radius-edge bound survives smoothing, volumes stay
+  // positive (no inversions), and the total volume is conserved within the
+  // tolerance of boundary re-projection.
+  EXPECT_LE(after.max_radius_edge, std::max(before.max_radius_edge, 2.0) + 1e-9);
+  EXPECT_GT(after.min_volume, 0.0);
+  EXPECT_NEAR(after.total_volume, before.total_volume,
+              0.05 * before.total_volume);
+}
+
+TEST_F(SmoothingTest, SurfaceVerticesStayOnSurface) {
+  SmoothingOptions opt;
+  opt.iterations = 2;
+  opt.threads = 1;
+  smooth_mesh(res_.mesh, *oracle_, opt);
+  const Vec3 c{(32 - 1) * 0.5, (32 - 1) * 0.5, (32 - 1) * 0.5};
+  const double r = 0.7 * (32 - 1) * 0.5;
+  for (const auto& f : res_.mesh.boundary_tris) {
+    for (const std::uint32_t v : f) {
+      EXPECT_NEAR(distance(res_.mesh.points[v], c), r, 1.2);
+    }
+  }
+}
+
+TEST_F(SmoothingTest, InteriorOnlyLeavesBoundaryFixed) {
+  std::vector<Vec3> boundary_before;
+  std::vector<char> on_boundary(res_.mesh.points.size(), 0);
+  for (const auto& f : res_.mesh.boundary_tris) {
+    for (const std::uint32_t v : f) on_boundary[v] = 1;
+  }
+  for (std::size_t v = 0; v < res_.mesh.points.size(); ++v) {
+    if (on_boundary[v]) boundary_before.push_back(res_.mesh.points[v]);
+  }
+  SmoothingOptions opt;
+  opt.smooth_surface = false;
+  const SmoothingReport rep = smooth_mesh(res_.mesh, *oracle_, opt);
+  EXPECT_GT(rep.moves_accepted, 0u);
+  std::size_t i = 0;
+  for (std::size_t v = 0; v < res_.mesh.points.size(); ++v) {
+    if (on_boundary[v]) {
+      EXPECT_EQ(res_.mesh.points[v], boundary_before[i]) << "vertex " << v;
+      ++i;
+    }
+  }
+}
+
+TEST(Smoothing, EmptyMeshIsNoop) {
+  TetMesh empty;
+  const LabeledImage3D img = phantom::ball(8, 0.6);
+  const IsosurfaceOracle oracle(img, 1);
+  const SmoothingReport rep = smooth_mesh(empty, oracle);
+  EXPECT_EQ(rep.moves_accepted, 0u);
+}
+
+TEST(Resample, DownsampleMajorityVote) {
+  LabeledImage3D img(4, 4, 4, {1, 1, 1});
+  for (auto& l : img.raw()) l = 1;
+  for (int z = 0; z < 2; ++z)
+    for (int y = 0; y < 2; ++y)
+      for (int x = 0; x < 2; ++x) img.at({x, y, z}) = 2;
+  const LabeledImage3D small = downsample(img, 2);
+  EXPECT_EQ(small.nx(), 2);
+  EXPECT_EQ(small.at({0, 0, 0}), 2);
+  EXPECT_EQ(small.at({1, 1, 1}), 1);
+  EXPECT_EQ(small.spacing(), (Vec3{2, 2, 2}));
+  EXPECT_EQ(downsample(img, 1).raw(), img.raw());
+}
+
+TEST(Resample, CropPreservesWorldCoordinates) {
+  LabeledImage3D img = phantom::ball(16, 0.6);
+  const LabeledImage3D sub = crop(img, {4, 4, 4}, {11, 11, 11});
+  EXPECT_EQ(sub.nx(), 8);
+  EXPECT_EQ(sub.voxel_center({0, 0, 0}), img.voxel_center({4, 4, 4}));
+  for (int z = 0; z < sub.nz(); ++z)
+    for (int y = 0; y < sub.ny(); ++y)
+      for (int x = 0; x < sub.nx(); ++x)
+        ASSERT_EQ(sub.at({x, y, z}), img.at({4 + x, 4 + y, 4 + z}));
+}
+
+TEST(Resample, ForegroundBounds) {
+  LabeledImage3D img(10, 10, 10);
+  img.at({3, 4, 5}) = 1;
+  img.at({6, 4, 5}) = 2;
+  Voxel lo, hi;
+  foreground_bounds(img, 1, &lo, &hi);
+  EXPECT_EQ(lo, (Voxel{2, 3, 4}));
+  EXPECT_EQ(hi, (Voxel{7, 5, 6}));
+  LabeledImage3D empty(4, 4, 4);
+  foreground_bounds(empty, 2, &lo, &hi);
+  EXPECT_EQ(lo, (Voxel{0, 0, 0}));
+  EXPECT_EQ(hi, (Voxel{3, 3, 3}));
+}
+
+TEST(Resample, CroppedForegroundMeshesLikeOriginal) {
+  const LabeledImage3D img = phantom::ball(32, 0.5);
+  Voxel lo, hi;
+  foreground_bounds(img, 2, &lo, &hi);
+  const LabeledImage3D sub = crop(img, lo, hi);
+  MeshingOptions opt;
+  opt.delta = 2.0;
+  const MeshingResult full = mesh_image(img, opt);
+  const MeshingResult cropped = mesh_image(sub, opt);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(cropped.ok());
+  EXPECT_NEAR(static_cast<double>(cropped.mesh.num_tets()),
+              static_cast<double>(full.mesh.num_tets()),
+              0.3 * full.mesh.num_tets());
+}
+
+TEST(PerLabelSizing, DrivesDensityPerTissue) {
+  const LabeledImage3D img = phantom::concentric_shells(28);
+  MeshingOptions fine_core;
+  fine_core.delta = 2.2;
+  fine_core.size_function = sizing::per_label(img, {{2, 1.3}}, 1e30);
+  MeshingOptions uniform;
+  uniform.delta = 2.2;
+
+  const MeshingResult a = mesh_image(img, fine_core);
+  const MeshingResult b = mesh_image(img, uniform);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto count_label = [](const TetMesh& m, Label l) {
+    std::size_t c = 0;
+    for (const Label x : m.tet_labels) c += x == l;
+    return c;
+  };
+  // The core (label 2) must densify far more than the shell: the shell
+  // also grows some near the interface (size grading), but the growth
+  // ratio must be dominated by the sized tissue.
+  const double core_ratio = static_cast<double>(count_label(a.mesh, 2)) /
+                            static_cast<double>(count_label(b.mesh, 2));
+  const double shell_ratio = static_cast<double>(count_label(a.mesh, 1)) /
+                             static_cast<double>(count_label(b.mesh, 1));
+  EXPECT_GT(core_ratio, 2.0);
+  EXPECT_GT(core_ratio, 1.5 * shell_ratio);
+}
+
+TEST(StlWriter, BinaryLayout) {
+  TetMesh m;
+  m.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  m.point_kinds.assign(3, VertexKind::Isosurface);
+  m.boundary_tris = {{0, 1, 2}};
+  const std::string path = ::testing::TempDir() + "/surface.stl";
+  ASSERT_TRUE(io::write_stl_surface(m, path));
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_EQ(data.size(), 80u + 4u + 50u);
+  std::uint32_t count = 0;
+  std::memcpy(&count, data.data() + 80, 4);
+  EXPECT_EQ(count, 1u);
+  float normal[3];
+  std::memcpy(normal, data.data() + 84, 12);
+  EXPECT_FLOAT_EQ(normal[0], 0.0f);
+  EXPECT_FLOAT_EQ(normal[1], 0.0f);
+  EXPECT_FLOAT_EQ(normal[2], 1.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pi2m

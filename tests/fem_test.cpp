@@ -1,0 +1,134 @@
+#include "fem/laplace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pi2m.hpp"
+#include "imaging/phantom.hpp"
+
+namespace pi2m {
+namespace {
+
+TetMesh unit_tet() {
+  TetMesh m;
+  m.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  m.point_kinds.assign(4, VertexKind::Isosurface);
+  m.tets = {{0, 1, 2, 3}};
+  m.tet_labels = {1};
+  m.boundary_tris = {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+  return m;
+}
+
+TEST(Stiffness, UnitTetKnownMatrix) {
+  const fem::CsrMatrix k = fem::assemble_stiffness(unit_tet());
+  ASSERT_EQ(k.rows(), 4u);
+
+  auto entry = [&](std::uint32_t r, std::uint32_t c) {
+    for (std::uint32_t i = k.row_ptr[r]; i < k.row_ptr[r + 1]; ++i) {
+      if (k.col[i] == c) return k.val[i];
+    }
+    return 0.0;
+  };
+  // Known P1 stiffness of the unit corner tet: K00 = |grad l0|^2 * V =
+  // 3 * (1/6) = 1/2; K11 = K22 = K33 = 1/6; K0i = -1/6; Kij (i,j>0) = 0.
+  EXPECT_NEAR(entry(0, 0), 0.5, 1e-12);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_NEAR(entry(0, i), -1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(entry(i, 0), -1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(entry(i, i), 1.0 / 6.0, 1e-12);
+  }
+  EXPECT_NEAR(entry(1, 2), 0.0, 1e-12);
+  // Row sums vanish (constants are in the kernel of -∆).
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (std::uint32_t i = k.row_ptr[r]; i < k.row_ptr[r + 1]; ++i) {
+      s += k.val[i];
+    }
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+}
+
+TEST(Stiffness, RowSumsVanishOnRealMesh) {
+  const LabeledImage3D img = phantom::ball(24, 0.7);
+  MeshingOptions opt;
+  opt.delta = 2.2;
+  const MeshingResult res = mesh_image(img, opt);
+  ASSERT_TRUE(res.ok());
+  const fem::CsrMatrix k = fem::assemble_stiffness(res.mesh);
+  for (std::size_t r = 0; r < k.rows(); ++r) {
+    double s = 0.0, diag = 0.0;
+    for (std::uint32_t i = k.row_ptr[r]; i < k.row_ptr[r + 1]; ++i) {
+      s += k.val[i];
+      if (k.col[i] == r) diag = k.val[i];
+    }
+    EXPECT_NEAR(s, 0.0, 1e-9 * std::max(1.0, diag));
+    EXPECT_GT(diag, 0.0);
+  }
+}
+
+TEST(CsrMatrix, Multiply) {
+  // 2x2: [[2,-1],[-1,2]]
+  fem::CsrMatrix m;
+  m.row_ptr = {0, 2, 4};
+  m.col = {0, 1, 0, 1};
+  m.val = {2, -1, -1, 2};
+  std::vector<double> y;
+  m.multiply({1.0, 3.0}, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+class HarmonicRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(HarmonicRecovery, LinearFunctionsAreReproducedExactly) {
+  // P1 elements reproduce affine functions exactly: with Dirichlet data
+  // g = alpha.p + c, the solve must return g at every node up to solver
+  // tolerance, on any mesh.
+  const int axis = GetParam();
+  const LabeledImage3D img = phantom::ball(24, 0.7);
+  MeshingOptions opt;
+  opt.delta = 2.2;
+  opt.threads = 2;
+  const MeshingResult res = mesh_image(img, opt);
+  ASSERT_TRUE(res.ok());
+
+  fem::DirichletProblem problem;
+  problem.boundary_value = [axis](const Vec3& p) { return p[axis] + 1.0; };
+  const fem::SolveResult sol = fem::solve_laplace(res.mesh, problem, 1e-10);
+  ASSERT_TRUE(sol.converged) << "iters=" << sol.iterations;
+
+  double max_err = 0.0;
+  for (std::size_t v = 0; v < res.mesh.points.size(); ++v) {
+    max_err = std::max(max_err,
+                       std::abs(sol.u[v] - (res.mesh.points[v][axis] + 1.0)));
+  }
+  EXPECT_LT(max_err, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, HarmonicRecovery, ::testing::Values(0, 1, 2));
+
+TEST(SolveLaplace, ConstantBoundaryGivesConstantField) {
+  const LabeledImage3D img = phantom::ball(20, 0.7);
+  MeshingOptions opt;
+  opt.delta = 2.5;
+  const MeshingResult res = mesh_image(img, opt);
+  ASSERT_TRUE(res.ok());
+  fem::DirichletProblem problem;
+  problem.boundary_value = [](const Vec3&) { return 42.0; };
+  const fem::SolveResult sol = fem::solve_laplace(res.mesh, problem);
+  ASSERT_TRUE(sol.converged);
+  for (const double u : sol.u) EXPECT_NEAR(u, 42.0, 1e-6);
+}
+
+TEST(SolveLaplace, EmptyMesh) {
+  fem::DirichletProblem problem;
+  problem.boundary_value = [](const Vec3&) { return 0.0; };
+  const fem::SolveResult sol = fem::solve_laplace(TetMesh{}, problem);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_TRUE(sol.u.empty());
+}
+
+}  // namespace
+}  // namespace pi2m

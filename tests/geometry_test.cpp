@@ -1,0 +1,126 @@
+#include "geometry/tetra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/vec3.hpp"
+
+namespace pi2m {
+namespace {
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(norm(Vec3{3, 4, 0}), 5.0);
+}
+
+TEST(Aabb, ExpandAndContain) {
+  Aabb box;
+  box.expand({0, 0, 0});
+  box.expand({1, 2, 3});
+  EXPECT_TRUE(box.contains({0.5, 1.0, 1.5}));
+  EXPECT_FALSE(box.contains({-0.1, 0, 0}));
+  const Aabb big = box.inflated(1.0);
+  EXPECT_TRUE(big.contains({-0.5, -0.5, -0.5}));
+  EXPECT_EQ(box.center(), (Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Circumsphere, RegularTetrahedron) {
+  // Vertices of a regular tetrahedron inscribed in the unit sphere.
+  const double s = 1.0 / std::sqrt(3.0);
+  const Vec3 a{s, s, s}, b{s, -s, -s}, c{-s, s, -s}, d{-s, -s, s};
+  const Circumsphere cs = circumsphere(a, b, c, d);
+  ASSERT_TRUE(cs.valid);
+  EXPECT_NEAR(cs.center.x, 0.0, 1e-12);
+  EXPECT_NEAR(cs.center.y, 0.0, 1e-12);
+  EXPECT_NEAR(cs.center.z, 0.0, 1e-12);
+  EXPECT_NEAR(cs.radius2, 1.0, 1e-12);
+}
+
+TEST(Circumsphere, EquidistantFromAllVerticesRandom) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> u(-5, 5);
+  int valid = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 a{u(rng), u(rng), u(rng)}, b{u(rng), u(rng), u(rng)};
+    const Vec3 c{u(rng), u(rng), u(rng)}, d{u(rng), u(rng), u(rng)};
+    const Circumsphere cs = circumsphere(a, b, c, d);
+    if (!cs.valid) continue;
+    ++valid;
+    const double r2 = cs.radius2;
+    for (const Vec3& p : {a, b, c, d}) {
+      EXPECT_NEAR(distance2(cs.center, p), r2, 1e-6 * r2 + 1e-12);
+    }
+  }
+  EXPECT_GT(valid, 450);
+}
+
+TEST(Circumsphere, DegenerateFlagged) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{2, 0, 0}, d{3, 0, 0};
+  EXPECT_FALSE(circumsphere(a, b, c, d).valid);
+  EXPECT_GE(radius_edge_ratio(a, b, c, d), 1e299);
+}
+
+TEST(TriangleCircumcircle, Equilateral) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0.5, std::sqrt(3.0) / 2.0, 0};
+  const Circumsphere cc = triangle_circumcircle(a, b, c);
+  ASSERT_TRUE(cc.valid);
+  EXPECT_NEAR(std::sqrt(cc.radius2), 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(distance(cc.center, a), distance(cc.center, b), 1e-12);
+  EXPECT_NEAR(distance(cc.center, a), distance(cc.center, c), 1e-12);
+}
+
+TEST(SignedVolume, UnitTet) {
+  EXPECT_NEAR(
+      signed_volume({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}), -1.0 / 6.0,
+      1e-15);
+  EXPECT_NEAR(
+      signed_volume({0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {0, 0, 1}), 1.0 / 6.0,
+      1e-15);
+}
+
+TEST(RadiusEdgeRatio, RegularTetIsOptimal) {
+  const double s = 1.0 / std::sqrt(3.0);
+  const Vec3 a{s, s, s}, b{s, -s, -s}, c{-s, s, -s}, d{-s, -s, s};
+  // Regular tetrahedron: R / l = sqrt(3/8) ~ 0.612, the global minimum.
+  EXPECT_NEAR(radius_edge_ratio(a, b, c, d), std::sqrt(3.0 / 8.0), 1e-12);
+}
+
+TEST(DihedralAngles, RightCornerTet) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0, 0, 1};
+  const auto angles = dihedral_angles(a, b, c, d);
+  // The three coordinate-plane pairs meet at 90 degrees.
+  int right = 0;
+  for (double ang : angles) {
+    if (std::abs(ang - 90.0) < 1e-9) ++right;
+  }
+  EXPECT_EQ(right, 3);
+}
+
+TEST(DihedralAngles, SumKnownForRegular) {
+  const double s = 1.0 / std::sqrt(3.0);
+  const Vec3 a{s, s, s}, b{s, -s, -s}, c{-s, s, -s}, d{-s, -s, s};
+  const auto angles = dihedral_angles(a, b, c, d);
+  for (double ang : angles) {
+    EXPECT_NEAR(ang, 70.528779365509308630754, 1e-9);  // arccos(1/3)
+  }
+}
+
+TEST(TriangleAngles, SumTo180) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> u(-3, 3);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 a{u(rng), u(rng), u(rng)}, b{u(rng), u(rng), u(rng)},
+        c{u(rng), u(rng), u(rng)};
+    const auto ang = triangle_angles(a, b, c);
+    EXPECT_NEAR(ang[0] + ang[1] + ang[2], 180.0, 1e-6);
+    EXPECT_LE(min_triangle_angle(a, b, c), 60.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pi2m

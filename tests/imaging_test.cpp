@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "imaging/edt.hpp"
+#include "imaging/image3d.hpp"
+#include "imaging/isosurface.hpp"
+#include "imaging/phantom.hpp"
+
+namespace pi2m {
+namespace {
+
+TEST(Image3D, IndexingAndBounds) {
+  LabeledImage3D img(4, 5, 6, {1, 2, 3}, {10, 20, 30});
+  EXPECT_EQ(img.voxel_count(), 120u);
+  EXPECT_EQ(img.at({3, 4, 5}), 0);
+  img.at({1, 2, 3}) = 7;
+  EXPECT_EQ(img.at({1, 2, 3}), 7);
+  const LabeledImage3D& cimg = img;
+  EXPECT_EQ(cimg.at({-1, 0, 0}), 0);  // out-of-bounds reads are background
+  EXPECT_EQ(cimg.at({4, 0, 0}), 0);
+  EXPECT_EQ(img.voxel_center({1, 1, 1}), (Vec3{11, 22, 33}));
+}
+
+TEST(Image3D, NearestVoxelClamping) {
+  LabeledImage3D img(10, 10, 10);
+  EXPECT_EQ(img.nearest_voxel({-100, 4.4, 100}), (Voxel{0, 4, 9}));
+  // Half-way coordinates round away from zero (lround semantics).
+  EXPECT_EQ(img.nearest_voxel({4.6, 4.5, 4.49}), (Voxel{5, 5, 4}));
+}
+
+TEST(Image3D, SurfaceVoxelDetection) {
+  LabeledImage3D img = phantom::ball(16, 0.6);
+  int surface = 0, interior = 0;
+  for (int z = 0; z < 16; ++z) {
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        if (img.at({x, y, z}) == 0) continue;
+        if (img.is_surface_voxel({x, y, z})) {
+          ++surface;
+        } else {
+          ++interior;
+        }
+      }
+    }
+  }
+  EXPECT_GT(surface, 0);
+  EXPECT_GT(interior, 0);
+  // A border foreground voxel is a surface voxel even without in-image
+  // neighbours of different label.
+  LabeledImage3D full(3, 3, 3);
+  for (auto& l : full.raw()) l = 1;
+  EXPECT_TRUE(full.is_surface_voxel({0, 1, 1}));
+  EXPECT_FALSE(full.is_surface_voxel({1, 1, 1}));
+}
+
+TEST(Image3D, MultiLabelInterfaceIsSurface) {
+  LabeledImage3D img = phantom::concentric_shells(24);
+  const auto labels = img.labels_present();
+  ASSERT_EQ(labels.size(), 2u);
+  // Find a voxel of label 2 adjacent to label 1: it must be a surface voxel
+  // even though it is nowhere near background.
+  bool found = false;
+  for (int z = 1; z < 23 && !found; ++z) {
+    for (int y = 1; y < 23 && !found; ++y) {
+      for (int x = 1; x < 23 && !found; ++x) {
+        if (img.at({x, y, z}) == 2 && img.at({x + 1, y, z}) == 1) {
+          EXPECT_TRUE(img.is_surface_voxel({x, y, z}));
+          found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Phantoms, AllNonEmptyAndMultiLabel) {
+  EXPECT_EQ(phantom::ball(16).labels_present().size(), 1u);
+  EXPECT_EQ(phantom::concentric_shells(20).labels_present().size(), 2u);
+  EXPECT_EQ(phantom::abdominal(32, 32, 32).labels_present().size(), 4u);
+  EXPECT_EQ(phantom::knee(32, 32, 32).labels_present().size(), 4u);
+  EXPECT_GE(phantom::head_neck(32, 32, 32).labels_present().size(), 3u);
+  EXPECT_GE(phantom::random_blobs(24, 42).labels_present().size(), 1u);
+}
+
+// --- EDT: exactness against brute force -------------------------------
+
+double brute_force_surface_distance(const LabeledImage3D& img, const Voxel& v,
+                                    Voxel* who = nullptr) {
+  double best = std::numeric_limits<double>::infinity();
+  const Vec3 p = img.voxel_center(v);
+  for (int z = 0; z < img.nz(); ++z) {
+    for (int y = 0; y < img.ny(); ++y) {
+      for (int x = 0; x < img.nx(); ++x) {
+        if (!img.is_surface_voxel({x, y, z})) continue;
+        const double d = distance(p, img.voxel_center({x, y, z}));
+        if (d < best) {
+          best = d;
+          if (who) *who = {x, y, z};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+class EdtExactness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EdtExactness, MatchesBruteForceOnRandomImages) {
+  const unsigned seed = GetParam();
+  const int n = 14;
+  LabeledImage3D img = phantom::random_blobs(n, seed, 3, 2);
+  const FeatureTransform ft = FeatureTransform::compute(img, 2);
+  ASSERT_TRUE(ft.has_surface());
+  std::mt19937 rng(seed * 7 + 1);
+  std::uniform_int_distribution<int> c(0, n - 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Voxel v{c(rng), c(rng), c(rng)};
+    const double ref = brute_force_surface_distance(img, v);
+    const Voxel f = ft.nearest_surface_voxel(v);
+    ASSERT_GE(f.x, 0);
+    EXPECT_TRUE(img.is_surface_voxel(f));
+    const double got = distance(img.voxel_center(v), img.voxel_center(f));
+    EXPECT_NEAR(got, ref, 1e-9) << "voxel (" << v.x << "," << v.y << "," << v.z
+                                << ") seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdtExactness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Edt, AnisotropicSpacing) {
+  // One surface voxel plane; with z-spacing 5 the closest feature to a voxel
+  // 1 step away in z must still be found despite x/y being "cheaper".
+  LabeledImage3D img(9, 9, 9, {1, 1, 5});
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) img.at({x, y, 4}) = 1;
+  }
+  const FeatureTransform ft = FeatureTransform::compute(img, 1);
+  const Voxel f = ft.nearest_surface_voxel({4, 4, 3});
+  EXPECT_EQ(f.z, 4);
+  EXPECT_NEAR(ft.surface_distance_estimate(img.voxel_center({4, 4, 3})), 5.0,
+              1e-12);
+}
+
+TEST(Edt, ThreadCountInvariance) {
+  LabeledImage3D img = phantom::abdominal(24, 20, 28);
+  const FeatureTransform f1 = FeatureTransform::compute(img, 1);
+  const FeatureTransform f4 = FeatureTransform::compute(img, 4);
+  for (int z = 0; z < img.nz(); z += 3) {
+    for (int y = 0; y < img.ny(); y += 3) {
+      for (int x = 0; x < img.nx(); x += 3) {
+        const Vec3 p = img.voxel_center({x, y, z});
+        EXPECT_DOUBLE_EQ(f1.surface_distance_estimate(p),
+                         f4.surface_distance_estimate(p));
+      }
+    }
+  }
+}
+
+TEST(Edt, EmptyImageHasNoSurface) {
+  LabeledImage3D img(8, 8, 8);
+  const FeatureTransform ft = FeatureTransform::compute(img, 1);
+  EXPECT_FALSE(ft.has_surface());
+}
+
+// --- Isosurface oracle -------------------------------------------------
+
+TEST(IsosurfaceOracle, ClosestPointLiesOnBallSurface) {
+  const int n = 32;
+  LabeledImage3D img = phantom::ball(n, 0.6);
+  const IsosurfaceOracle oracle(img, 2);
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  const double r = 0.6 * (n - 1) * 0.5;
+
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> u(-0.9, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = c + Vec3{u(rng) * r, u(rng) * r, u(rng) * r};
+    const auto q = oracle.closest_surface_point(p);
+    ASSERT_TRUE(q.has_value());
+    // The surface point must sit within a voxel of the analytic sphere.
+    EXPECT_NEAR(distance(*q, c), r, 1.2);
+    // And it must sit on a genuine label transition: some probe within 0.6
+    // voxels of q (along the query ray or an axis) must differ in label.
+    std::vector<Vec3> dirs = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    if (distance(*q, p) > 1e-9) dirs.push_back(normalized(*q - p));
+    bool transition = false;
+    for (const Vec3& dir : dirs) {
+      if (oracle.label_at(*q - 0.6 * dir) != oracle.label_at(*q + 0.6 * dir)) {
+        transition = true;
+      }
+    }
+    EXPECT_TRUE(transition) << "q not on an interface";
+  }
+}
+
+TEST(IsosurfaceOracle, SegmentIntersection) {
+  const int n = 32;
+  LabeledImage3D img = phantom::ball(n, 0.6);
+  const IsosurfaceOracle oracle(img, 1);
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  const double r = 0.6 * (n - 1) * 0.5;
+
+  // Segment from the center to far outside must cross the sphere once.
+  const auto hit = oracle.segment_surface_intersection(c, c + Vec3{2 * r, 0, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(distance(*hit, c), r, 1.0);
+
+  // Segment fully inside must not cross.
+  EXPECT_FALSE(
+      oracle.segment_surface_intersection(c, c + Vec3{0.2 * r, 0, 0}).has_value());
+  // Degenerate zero-length segment.
+  EXPECT_FALSE(oracle.segment_surface_intersection(c, c).has_value());
+}
+
+TEST(IsosurfaceOracle, BallIntersectionTest) {
+  const int n = 32;
+  LabeledImage3D img = phantom::ball(n, 0.6);
+  const IsosurfaceOracle oracle(img, 1);
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  const double r = 0.6 * (n - 1) * 0.5;
+
+  EXPECT_TRUE(oracle.ball_intersects_surface(c, 1.2 * r));
+  EXPECT_FALSE(oracle.ball_intersects_surface(c, 0.3 * r));
+  EXPECT_TRUE(oracle.inside(c));
+  EXPECT_FALSE(oracle.inside(c + Vec3{2 * r, 0, 0}));
+}
+
+TEST(IsosurfaceOracle, InternalInterfaceIsDetected) {
+  const int n = 32;
+  LabeledImage3D img = phantom::concentric_shells(n);
+  const IsosurfaceOracle oracle(img, 1);
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  // From the core (label 2) walking outward we must first hit the 2|1
+  // interface, well before the outer radius.
+  const auto hit = oracle.segment_surface_intersection(c, c + Vec3{0.45 * n, 0, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(distance(*hit, c), 0.22 * n, 1.0);
+}
+
+}  // namespace
+}  // namespace pi2m

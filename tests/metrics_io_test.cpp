@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/refiner.hpp"
+#include "imaging/phantom.hpp"
+#include "io/tables.hpp"
+#include "io/writers.hpp"
+#include "metrics/hausdorff.hpp"
+#include "metrics/quality.hpp"
+
+namespace pi2m {
+namespace {
+
+TetMesh single_tet_mesh() {
+  TetMesh m;
+  m.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  m.point_kinds.assign(4, VertexKind::Isosurface);
+  m.tets = {{0, 1, 2, 3}};
+  m.tet_labels = {1};
+  m.boundary_tris = {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}};
+  return m;
+}
+
+TEST(Quality, SingleTetReport) {
+  const QualityReport r = evaluate_quality(single_tet_mesh());
+  EXPECT_EQ(r.num_tets, 1u);
+  EXPECT_EQ(r.num_boundary_tris, 4u);
+  EXPECT_NEAR(r.total_volume, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(r.min_dihedral_deg, 54.7356, 1e-3);  // arctan(sqrt(2)) corner
+  EXPECT_NEAR(r.max_dihedral_deg, 90.0, 1e-9);
+  EXPECT_NEAR(r.min_boundary_planar_deg, 45.0, 1e-9);
+  // radius-edge of the unit corner tet: R = sqrt(3)/2, shortest edge 1.
+  EXPECT_NEAR(r.max_radius_edge, std::sqrt(3.0) / 2.0, 1e-12);
+  std::size_t dihedral_total = 0;
+  for (auto c : r.dihedral_histogram) dihedral_total += c;
+  EXPECT_EQ(dihedral_total, 6u);
+}
+
+TEST(Quality, EmptyMesh) {
+  const QualityReport r = evaluate_quality(TetMesh{});
+  EXPECT_EQ(r.num_tets, 0u);
+  EXPECT_EQ(r.max_radius_edge, 0.0);
+}
+
+TEST(PointTriangle, Distances) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  EXPECT_NEAR(point_triangle_distance({0.2, 0.2, 1.0}, a, b, c), 1.0, 1e-12);
+  EXPECT_NEAR(point_triangle_distance({0.2, 0.2, 0}, a, b, c), 0.0, 1e-12);
+  EXPECT_NEAR(point_triangle_distance({-1, 0, 0}, a, b, c), 1.0, 1e-12);  // vertex
+  EXPECT_NEAR(point_triangle_distance({0.5, -2, 0}, a, b, c), 2.0, 1e-12);  // edge
+  EXPECT_NEAR(point_triangle_distance({1, 1, 0}, a, b, c),
+              std::sqrt(2.0) / 2.0, 1e-12);  // hypotenuse
+}
+
+TEST(Hausdorff, RefinedBallIsFaithful) {
+  const LabeledImage3D img = phantom::ball(24, 0.7);
+  RefinerOptions opt;
+  opt.threads = 1;
+  opt.rules.delta = 2.5;
+  Refiner refiner(img, opt);
+  ASSERT_TRUE(refiner.refine().completed);
+  const TetMesh tm = extract_mesh(refiner.mesh(), refiner.oracle(), 1);
+  const HausdorffResult h = hausdorff_distance(tm, refiner.oracle(), 2);
+  // With delta=2.5 voxels the sample theorem bounds the two-sided distance
+  // by O(delta^2 / lfs); empirically a few voxels at this coarseness.
+  EXPECT_GT(h.symmetric(), 0.0);
+  EXPECT_LT(h.symmetric(), 2.5 * 2.5);
+  EXPECT_LT(h.mesh_to_surface, 2.5 * 2.5);
+  EXPECT_LT(h.surface_to_mesh, 2.5 * 2.5);
+}
+
+TEST(Hausdorff, ShrinksWithDelta) {
+  const LabeledImage3D img = phantom::ball(32, 0.7);
+  auto run = [&](double delta) {
+    RefinerOptions opt;
+    opt.threads = 1;
+    opt.rules.delta = delta;
+    Refiner refiner(img, opt);
+    EXPECT_TRUE(refiner.refine().completed);
+    const TetMesh tm = extract_mesh(refiner.mesh(), refiner.oracle(), 1);
+    // Compare the surface->mesh direction: it scales with the sample
+    // spacing delta (Theorem 1), while mesh->surface is dominated by the
+    // voxel-quantized oracle's measurement floor at fine deltas.
+    return hausdorff_distance(tm, refiner.oracle(), 2).surface_to_mesh;
+  };
+  const double coarse = run(6.0);
+  const double fine = run(1.5);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(Writers, VtkOffMedit) {
+  const TetMesh m = single_tet_mesh();
+  const std::string base = ::testing::TempDir() + "/pi2m_io_test";
+  ASSERT_TRUE(io::write_vtk(m, base + ".vtk"));
+  ASSERT_TRUE(io::write_off_surface(m, base + ".off"));
+  ASSERT_TRUE(io::write_medit(m, base + ".mesh"));
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string vtk = slurp(base + ".vtk");
+  EXPECT_NE(vtk.find("POINTS 4 double"), std::string::npos);
+  EXPECT_NE(vtk.find("CELLS 1 5"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS label int 1"), std::string::npos);
+
+  const std::string off = slurp(base + ".off");
+  EXPECT_EQ(off.rfind("OFF", 0), 0u);
+  EXPECT_NE(off.find("4 4 0"), std::string::npos);
+
+  const std::string medit = slurp(base + ".mesh");
+  EXPECT_NE(medit.find("Tetrahedra"), std::string::npos);
+  EXPECT_NE(medit.find("End"), std::string::npos);
+
+  std::remove((base + ".vtk").c_str());
+  std::remove((base + ".off").c_str());
+  std::remove((base + ".mesh").c_str());
+}
+
+TEST(Writers, FailureOnBadPath) {
+  EXPECT_FALSE(io::write_vtk(TetMesh{}, "/nonexistent_dir_xyz/file.vtk"));
+}
+
+TEST(Tables, AlignmentAndFormat) {
+  io::TextTable t;
+  t.add_row({"metric", "a", "b"});
+  t.add_row({"time", "1.5", "20.25"});
+  t.add_row({"rollbacks", "7", "1234"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Data cells right-aligned under their headers: "b" column width 5.
+  EXPECT_NE(s.find(" 1234"), std::string::npos);
+
+  EXPECT_EQ(io::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(io::fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(io::fmt_int(12), "12");
+  EXPECT_EQ(io::fmt_pct(0.825, 1), "82.5%");
+  EXPECT_EQ(io::fmt_sci(14300000.0, 2), "1.43E+07");
+}
+
+}  // namespace
+}  // namespace pi2m

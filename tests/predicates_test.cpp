@@ -1,0 +1,166 @@
+#include "predicates/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "predicates/expansion.hpp"
+
+namespace pi2m {
+namespace {
+
+using exact::Expansion;
+
+TEST(Expansion, TwoSumExactness) {
+  double x, y;
+  exact::two_sum(1e30, 1.0, x, y);
+  EXPECT_EQ(x, 1e30);
+  EXPECT_EQ(y, 1.0);  // the small addend is preserved exactly in the tail
+}
+
+TEST(Expansion, TwoProdExactness) {
+  double x, y;
+  const double a = 1.0 + 1e-8, b = 1.0 - 1e-8;
+  exact::two_prod(a, b, x, y);
+  // x + y must equal a*b exactly: verify via long double reference.
+  const long double ref = static_cast<long double>(a) * b;
+  EXPECT_EQ(static_cast<long double>(x) + y, ref);
+}
+
+TEST(Expansion, SumAndScale) {
+  Expansion e = Expansion(1e20) + Expansion(1.0);
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.sign(), 1);
+  Expansion d = e - e;
+  EXPECT_TRUE(d.is_zero());
+  EXPECT_EQ(d.sign(), 0);
+  Expansion n = e.negated();
+  EXPECT_EQ(n.sign(), -1);
+  EXPECT_EQ((e + n).sign(), 0);
+}
+
+TEST(Expansion, ProductMatchesLongDoubleOnSmallValues) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-1e3, 1e3);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = u(rng), b = u(rng), c = u(rng);
+    const Expansion p = (Expansion(a) + Expansion(b)) * Expansion(c);
+    const long double ref =
+        (static_cast<long double>(a) + b) * static_cast<long double>(c);
+    // The estimate is within one ulp; the sign is exact.
+    EXPECT_EQ(p.sign(), (ref > 0) - (ref < 0));
+    EXPECT_NEAR(static_cast<double>(p.estimate()), static_cast<double>(ref),
+                1e-9 * std::abs(static_cast<double>(ref)) + 1e-300);
+  }
+}
+
+TEST(Orient3d, BasicOrientation) {
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  EXPECT_GT(orient3d(a, b, c, {0, 0, -1}), 0);
+  EXPECT_LT(orient3d(a, b, c, {0, 0, 1}), 0);
+  EXPECT_EQ(orient3d(a, b, c, {0.3, 0.3, 0}), 0);
+}
+
+TEST(Orient3d, SignFlipsUnderSwap) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 a{u(rng), u(rng), u(rng)}, b{u(rng), u(rng), u(rng)};
+    const Vec3 c{u(rng), u(rng), u(rng)}, d{u(rng), u(rng), u(rng)};
+    EXPECT_EQ(orient3d(a, b, c, d), -orient3d(b, a, c, d));
+  }
+}
+
+TEST(Orient3d, ExactOnNearDegenerate) {
+  // Points nearly coplanar: the double filter cannot decide, the exact path
+  // must. Build an exactly-coplanar triple plus a perturbed one whose offset
+  // is representable.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0};
+  const double tiny = std::ldexp(1.0, -60);
+  EXPECT_EQ(orient3d(a, b, c, {0.5, 0.5, 0.0}), 0);
+  EXPECT_LT(orient3d(a, b, c, {0.5, 0.5, tiny}), 0);
+  EXPECT_GT(orient3d(a, b, c, {0.5, 0.5, -tiny}), 0);
+}
+
+TEST(Orient3d, TranslationallyConsistentNearDegeneracy) {
+  // A classic robustness trap: evaluate the same geometric configuration
+  // shifted far from the origin.
+  const double tiny = std::ldexp(1.0, -45);
+  const double big = std::ldexp(1.0, 20);
+  const Vec3 shift{big, -3 * big, 2 * big};
+  const Vec3 a{0, 0, 0}, b{12, 12, 12}, c{24, 24, 24 + tiny}, d{1, 2, 3};
+  const int s1 = orient3d(a, b, c, d);
+  const int s2 = orient3d(a + shift, b + shift, c + shift, d + shift);
+  // Near the origin the 2^-45 z-offset makes the determinant a tiny but
+  // exactly-representable nonzero (12 * 2^-45); after the large translation
+  // the offset is absorbed by rounding, making (a,b,c) exactly collinear ->
+  // coplanar with any d. Both answers are exact for the stored coordinates.
+  EXPECT_GT(s1, 0);
+  EXPECT_EQ(s2, 0);
+}
+
+TEST(Insphere, UnitTetrahedron) {
+  // Ordered positively under this library's convention.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 0, 1}, d{0, 1, 0};
+  ASSERT_GT(orient3d(a, b, c, d), 0);
+  EXPECT_GT(insphere(a, b, c, d, {0.25, 0.25, 0.25}), 0);
+  EXPECT_LT(insphere(a, b, c, d, {10, 10, 10}), 0);
+  // A vertex is exactly on the circumsphere.
+  EXPECT_EQ(insphere(a, b, c, d, a), 0);
+  // The point diagonally opposite the origin on the circumsphere (the
+  // circumsphere of this tet has center (0.5,0.5,0.5)).
+  EXPECT_EQ(insphere(a, b, c, d, {1, 1, 1}), 0);
+}
+
+TEST(Insphere, CosphericalExactZero) {
+  // Eight cube corners are cospherical: any 4 + another corner give 0.
+  const Vec3 p000{0, 0, 0}, p100{1, 0, 0}, p010{0, 1, 0}, p001{0, 0, 1};
+  const Vec3 p111{1, 1, 1}, p110{1, 1, 0};
+  ASSERT_GT(orient3d(p000, p100, p001, p010), 0);
+  EXPECT_EQ(insphere(p000, p100, p001, p010, p111), 0);
+  EXPECT_EQ(insphere(p000, p100, p001, p010, p110), 0);
+}
+
+TEST(Insphere, RandomAgreesWithNaiveWhenWellSeparated) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(-10, 10);
+  int checked = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Vec3 a{u(rng), u(rng), u(rng)}, b{u(rng), u(rng), u(rng)};
+    Vec3 c{u(rng), u(rng), u(rng)}, d{u(rng), u(rng), u(rng)};
+    if (orient3d(a, b, c, d) < 0) std::swap(a, b);
+    if (orient3d(a, b, c, d) <= 0) continue;
+    const Vec3 e{u(rng), u(rng), u(rng)};
+    // Naive reference: compare |e - center| with radius via circumsphere.
+    const Vec3 ba = b - a, ca = c - a, da = d - a;
+    const Vec3 cbc = cross(ba, ca);
+    const double denom = 2.0 * dot(cbc, da);
+    if (std::abs(denom) < 1e-6) continue;
+    const Vec3 num = norm2(da) * cbc + norm2(ca) * cross(da, ba) +
+                     norm2(ba) * cross(ca, da);
+    const Vec3 center = a + num / denom;
+    const double r2 = norm2(center - a);
+    const double d2 = norm2(center - e);
+    if (std::abs(d2 - r2) < 1e-6 * r2) continue;  // too close to call naively
+    EXPECT_EQ(insphere(a, b, c, d, e) > 0, d2 < r2);
+    ++checked;
+  }
+  EXPECT_GT(checked, 500);
+}
+
+TEST(PredicateCounters, ExactPathIsRare) {
+  reset_predicate_counters();
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> u(-1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 a{u(rng), u(rng), u(rng)}, b{u(rng), u(rng), u(rng)};
+    const Vec3 c{u(rng), u(rng), u(rng)}, d{u(rng), u(rng), u(rng)};
+    orient3d(a, b, c, d);
+  }
+  const auto pc = predicate_counters();
+  EXPECT_EQ(pc.orient3d_calls, 1000u);
+  EXPECT_LT(pc.orient3d_exact, 10u);  // random inputs almost never degenerate
+}
+
+}  // namespace
+}  // namespace pi2m

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/sizing.hpp"
+#include "core/spatial_grid.hpp"
+#include "runtime/contention.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/workstealing.hpp"
+
+namespace pi2m {
+namespace {
+
+// --- topology -----------------------------------------------------------
+
+TEST(Topology, BlacklightLayout) {
+  const Topology t(32, {8, 2});
+  EXPECT_EQ(t.threads_per_socket(), 8);
+  EXPECT_EQ(t.threads_per_blade(), 16);
+  EXPECT_EQ(t.num_sockets(), 4);
+  EXPECT_EQ(t.num_blades(), 2);
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(7), 0);
+  EXPECT_EQ(t.socket_of(8), 1);
+  EXPECT_EQ(t.blade_of(15), 0);
+  EXPECT_EQ(t.blade_of(16), 1);
+  EXPECT_TRUE(t.same_socket(0, 7));
+  EXPECT_FALSE(t.same_socket(7, 8));
+  EXPECT_TRUE(t.same_blade(7, 8));
+  EXPECT_FALSE(t.same_blade(15, 16));
+}
+
+TEST(Topology, PartialLastSocket) {
+  const Topology t(10, {4, 2});
+  EXPECT_EQ(t.num_sockets(), 3);
+  EXPECT_EQ(t.num_blades(), 2);
+}
+
+// --- contention managers ------------------------------------------------
+
+struct CmFixture {
+  std::atomic<bool> done{false};
+  std::atomic<int> idle{0};
+  ThreadStats stats;
+
+  CmContext ctx(int n) {
+    CmContext c;
+    c.done = &done;
+    c.idle_threads = &idle;
+    c.nthreads = n;
+    return c;
+  }
+};
+
+TEST(ContentionManager, AggressiveNeverBlocks) {
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Aggressive, f.ctx(4));
+  for (int i = 0; i < 100; ++i) cm->on_rollback(0, 1, f.stats);
+  EXPECT_EQ(cm->blocked_count(), 0);
+  EXPECT_EQ(f.stats.contention_ns.load(), 0u);
+}
+
+TEST(ContentionManager, RandomSleepsAfterRPlusRollbacks) {
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Random, f.ctx(4), /*r_plus=*/3);
+  for (int i = 0; i < 3; ++i) cm->on_rollback(0, 1, f.stats);
+  EXPECT_EQ(f.stats.contention_ns.load(), 0u);  // not yet over the limit
+  cm->on_rollback(0, 1, f.stats);               // 4th consecutive: sleeps
+  EXPECT_GT(f.stats.contention_ns.load(), 0u);
+  // Success resets the streak.
+  cm->on_success(0);
+  const auto before = f.stats.contention_ns.load();
+  for (int i = 0; i < 3; ++i) cm->on_rollback(0, 1, f.stats);
+  EXPECT_EQ(f.stats.contention_ns.load(), before);
+}
+
+TEST(ContentionManager, GlobalBlocksAndIsWokenBySuccessStreak) {
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Global, f.ctx(2), 5, /*s_plus=*/3);
+  ThreadStats st1;
+  std::thread blocked([&] { cm->on_rollback(1, 0, st1); });
+  while (cm->blocked_count() == 0) std::this_thread::yield();
+  // Thread 0 makes s_plus consecutive successes -> wakes thread 1.
+  for (int i = 0; i < 3; ++i) cm->on_success(0);
+  blocked.join();
+  EXPECT_EQ(cm->blocked_count(), 0);
+  EXPECT_GT(st1.contention_ns.load(), 0u);
+}
+
+TEST(ContentionManager, GlobalNeverBlocksLastActiveThread) {
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Global, f.ctx(2));
+  f.idle.store(1);  // the other thread is idle: we are the last active one
+  cm->on_rollback(0, 1, f.stats);  // must return immediately
+  EXPECT_EQ(cm->blocked_count(), 0);
+}
+
+TEST(ContentionManager, LocalBreaksTwoCycle) {
+  // T0 -> T1 and T1 -> T0 concurrently: by Lemma 1 at least one must not
+  // block; by Lemma 2 (with a 3rd active thread present) at most one runs
+  // free. Either way both must eventually return once the free one
+  // "progresses".
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Local, f.ctx(3), 5, /*s_plus=*/1);
+  ThreadStats st0, st1;
+  std::atomic<bool> done0{false}, done1{false};
+  std::thread t0([&] {
+    cm->on_rollback(0, 1, st0);
+    done0 = true;
+  });
+  std::thread t1([&] {
+    cm->on_rollback(1, 0, st1);
+    done1 = true;
+  });
+  // One of them may block; simulate progress of whichever returned.
+  const double deadline = now_sec() + 10.0;
+  while ((!done0 || !done1) && now_sec() < deadline) {
+    if (done0) cm->on_success(0);
+    if (done1) cm->on_success(1);
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(done0 && done1) << "dependency cycle deadlocked";
+  t0.join();
+  t1.join();
+}
+
+TEST(ContentionManager, WakeAllReleasesEveryone) {
+  CmFixture f;
+  auto cm = make_contention_manager(CmKind::Local, f.ctx(4), 5, 1000);
+  ThreadStats st[2];
+  std::thread a([&] { cm->on_rollback(1, 0, st[0]); });
+  std::thread b([&] { cm->on_rollback(2, 0, st[1]); });
+  while (cm->blocked_count() < 2) std::this_thread::yield();
+  cm->wake_all();
+  a.join();
+  b.join();
+  EXPECT_EQ(cm->blocked_count(), 0);
+}
+
+// --- load balancers ------------------------------------------------------
+
+TEST(LoadBalancer, RwsFifoOrder) {
+  const Topology topo(4, {2, 2});
+  auto lb = make_load_balancer(LbKind::RWS, topo);
+  EXPECT_FALSE(lb->any_beggar());
+  lb->enqueue_beggar(2);
+  lb->enqueue_beggar(3);
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 2);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 3);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);
+}
+
+TEST(LoadBalancer, HwsPrefersLocality) {
+  // 8 threads: sockets {0,1},{2,3},{4,5},{6,7}; blades {0..3},{4..7}.
+  const Topology topo(8, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo);
+  StealLevel lvl{};
+
+  // Socket-mate begging on BL1 is the giver's first choice.
+  lb->enqueue_beggar(1);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 1);
+  EXPECT_EQ(lvl, StealLevel::IntraSocket);
+
+  // BL1 of socket 1 holds tps-1 = 1 beggar; the second one overflows into
+  // BL2 of blade 0, where giver 0 (other socket, same blade) can see it.
+  lb->enqueue_beggar(3);
+  lb->enqueue_beggar(2);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 2);
+  EXPECT_EQ(lvl, StealLevel::IntraBlade);
+
+  // Fill blade 1's BL1/BL2 so thread 7 overflows into the global BL3,
+  // where any giver finds it.
+  lb->enqueue_beggar(4);  // BL1 socket 2
+  lb->enqueue_beggar(5);  // BL1[2] full -> BL2 blade 1
+  lb->enqueue_beggar(6);  // BL1 socket 3
+  lb->enqueue_beggar(7);  // BL1[3] full, BL2[1] full -> BL3
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 7);
+  EXPECT_EQ(lvl, StealLevel::InterBlade);
+
+  // Thread 3, still on socket 1's BL1, is deliberately invisible to giver
+  // 0 (paper §6.1: BL1 is shared only among the threads of one socket).
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);
+  EXPECT_EQ(lb->pop_beggar(2, &lvl), 3);  // its socket-mate serves it
+  EXPECT_EQ(lvl, StealLevel::IntraSocket);
+}
+
+TEST(LoadBalancer, HwsLevelCapacities) {
+  // When a whole socket and its blade's BL2 slot are taken, the next
+  // beggar lands on BL3 and becomes reachable from the other blade.
+  const Topology topo(8, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo);
+  lb->enqueue_beggar(0);  // BL1 socket 0
+  lb->enqueue_beggar(1);  // BL1[0] full -> BL2 blade 0
+  lb->enqueue_beggar(2);  // BL1 socket 1
+  lb->enqueue_beggar(3);  // BL1[1] full, BL2[0] full -> BL3
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(6, &lvl), 3);  // giver on blade 1 reaches BL3
+  EXPECT_EQ(lvl, StealLevel::InterBlade);
+  // Blade-0 givers still drain their local levels first.
+  EXPECT_EQ(lb->pop_beggar(2, &lvl), 2);
+  EXPECT_EQ(lvl, StealLevel::IntraSocket);
+  EXPECT_EQ(lb->pop_beggar(2, &lvl), 1);
+  EXPECT_EQ(lvl, StealLevel::IntraBlade);
+}
+
+TEST(LoadBalancer, CancelRemoves) {
+  const Topology topo(4, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo);
+  lb->enqueue_beggar(1);
+  EXPECT_TRUE(lb->any_beggar());
+  lb->cancel(1);
+  EXPECT_FALSE(lb->any_beggar());
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);
+  lb->cancel(1);  // double-cancel is a no-op
+  EXPECT_FALSE(lb->any_beggar());
+}
+
+TEST(LoadBalancer, WorkFlagsHandshake) {
+  const Topology topo(2, {2, 2});
+  auto lb = make_load_balancer(LbKind::RWS, topo);
+  EXPECT_FALSE(lb->work_flag(1).load());
+  lb->work_flag(1).store(true);
+  EXPECT_TRUE(lb->work_flag(1).load());
+}
+
+// --- spatial grid ---------------------------------------------------------
+
+TEST(SpatialGrid, InsertQueryRemove) {
+  const Aabb box{{0, 0, 0}, {100, 100, 100}};
+  SpatialHashGrid grid(box, 2.0);
+  grid.insert({10, 10, 10}, 1);
+  grid.insert({11, 10, 10}, 2);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_TRUE(grid.any_within({10.2, 10, 10}, 1.0));
+  EXPECT_FALSE(grid.any_within({50, 50, 50}, 2.0));
+  // Radius is strict.
+  EXPECT_FALSE(grid.any_within({12, 10, 10}, 1.0));
+
+  std::vector<std::pair<Vec3, VertexId>> out;
+  grid.collect_within({10.5, 10, 10}, 1.0, out);
+  ASSERT_EQ(out.size(), 2u);
+
+  EXPECT_TRUE(grid.remove({10, 10, 10}, 1));
+  EXPECT_FALSE(grid.remove({10, 10, 10}, 1));  // already gone
+  grid.collect_within({10.5, 10, 10}, 1.0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 2u);
+}
+
+TEST(SpatialGrid, NeighbouringCellsCovered) {
+  const Aabb box{{0, 0, 0}, {10, 10, 10}};
+  SpatialHashGrid grid(box, 1.0);
+  // Points just across cell boundaries from the query point.
+  grid.insert({4.95, 5.0, 5.0}, 1);
+  grid.insert({5.05, 6.04, 5.0}, 2);
+  EXPECT_TRUE(grid.any_within({5.05, 5.0, 5.0}, 0.2));
+  EXPECT_TRUE(grid.any_within({5.05, 6.0, 5.0}, 0.2));
+}
+
+TEST(SpatialGrid, ConcurrentInsertAndQuery) {
+  const Aabb box{{0, 0, 0}, {64, 64, 64}};
+  SpatialHashGrid grid(box, 1.0);
+  constexpr int kThreads = 4, kPer = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&grid, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const double x = (t * kPer + i) % 64;
+        const double y = ((t * kPer + i) / 64) % 64;
+        const double z = t;
+        grid.insert({x + 0.1, y + 0.1, z + 0.1},
+                    static_cast<VertexId>(t * kPer + i));
+        (void)grid.any_within({x, y, z}, 0.5);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(grid.size(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+// --- sizing ---------------------------------------------------------------
+
+TEST(Sizing, Helpers) {
+  EXPECT_TRUE(std::isinf(sizing::unconstrained()({1, 2, 3})));
+  EXPECT_DOUBLE_EQ(sizing::uniform(2.5)({0, 0, 0}), 2.5);
+
+  const auto graded = sizing::axis_graded(0, 0.0, 10.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(graded({0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(graded({10, 0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(graded({5, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(graded({-5, 0, 0}), 1.0);  // clamped
+
+  const auto rad = sizing::radial({0, 0, 0}, 1.0, 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(rad({0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(rad({2, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(rad({100, 0, 0}), 4.0);
+}
+
+}  // namespace
+}  // namespace pi2m

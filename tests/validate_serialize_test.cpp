@@ -1,0 +1,188 @@
+// Tests for mesh validation, binary serialization, the vascular phantom,
+// and a configuration sweep of full refinements.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pi2m.hpp"
+#include "core/validate.hpp"
+#include "imaging/phantom.hpp"
+#include "io/mesh_serialize.hpp"
+
+namespace pi2m {
+namespace {
+
+MeshingResult quick_mesh(const LabeledImage3D& img, double delta,
+                         int threads = 1) {
+  MeshingOptions opt;
+  opt.delta = delta;
+  opt.threads = threads;
+  return mesh_image(img, opt);
+}
+
+TEST(Validate, CleanMeshPasses) {
+  const MeshingResult res = quick_mesh(phantom::ball(24, 0.7), 2.2, 2);
+  ASSERT_TRUE(res.ok());
+  const MeshValidation v = validate_mesh(res.mesh);
+  EXPECT_TRUE(v.ok) << (v.errors.empty() ? "" : v.errors.front());
+  EXPECT_EQ(v.connected_components, 1u);
+}
+
+TEST(Validate, MultiComponentCounted) {
+  LabeledImage3D img(36, 16, 16);
+  const Vec3 c1{7, 7.5, 7.5}, c2{28, 7.5, 7.5};
+  for (int z = 0; z < 16; ++z)
+    for (int y = 0; y < 16; ++y)
+      for (int x = 0; x < 36; ++x) {
+        const Vec3 p{double(x), double(y), double(z)};
+        if (distance2(p, c1) < 20 || distance2(p, c2) < 20)
+          img.at({x, y, z}) = 1;
+      }
+  const MeshingResult res = quick_mesh(img, 1.6);
+  ASSERT_TRUE(res.ok());
+  const MeshValidation v = validate_mesh(res.mesh);
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.connected_components, 2u);
+}
+
+TEST(Validate, DetectsCorruption) {
+  MeshingResult res = quick_mesh(phantom::ball(20, 0.7), 2.5);
+  ASSERT_TRUE(res.ok());
+  {
+    TetMesh bad = res.mesh;
+    bad.tets[0][1] = static_cast<std::uint32_t>(bad.points.size());  // OOB
+    EXPECT_FALSE(validate_mesh(bad).ok);
+  }
+  {
+    TetMesh bad = res.mesh;
+    bad.tet_labels[0] = 0;  // background element
+    EXPECT_FALSE(validate_mesh(bad).ok);
+  }
+  {
+    TetMesh bad = res.mesh;
+    bad.boundary_tris.push_back(bad.boundary_tris.front());  // duplicate
+    EXPECT_FALSE(validate_mesh(bad).ok);
+  }
+  {
+    TetMesh bad = res.mesh;
+    bad.tets.pop_back();  // some interior face becomes exposed & unlisted
+    bad.tet_labels.pop_back();
+    EXPECT_FALSE(validate_mesh(bad).ok);
+  }
+  {
+    TetMesh bad = res.mesh;
+    bad.points[bad.tets[0][0]] = bad.points[bad.tets[0][1]];  // degenerate
+    EXPECT_FALSE(validate_mesh(bad).ok);
+  }
+}
+
+TEST(Validate, EmptyMeshIsValid) {
+  const MeshValidation v = validate_mesh(TetMesh{});
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.connected_components, 0u);
+}
+
+TEST(Serialize, RoundTrip) {
+  const MeshingResult res = quick_mesh(phantom::concentric_shells(22), 2.4, 2);
+  ASSERT_TRUE(res.ok());
+  const std::string path = ::testing::TempDir() + "/mesh.p2m";
+  ASSERT_TRUE(io::save_mesh(res.mesh, path));
+
+  std::string error;
+  const auto back = io::load_mesh(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->points.size(), res.mesh.points.size());
+  EXPECT_EQ(back->tets, res.mesh.tets);
+  EXPECT_EQ(back->tet_labels, res.mesh.tet_labels);
+  EXPECT_EQ(back->boundary_tris, res.mesh.boundary_tris);
+  for (std::size_t i = 0; i < back->points.size(); ++i) {
+    EXPECT_EQ(back->points[i], res.mesh.points[i]);  // bit-exact
+    EXPECT_EQ(back->point_kinds[i], res.mesh.point_kinds[i]);
+  }
+  EXPECT_TRUE(validate_mesh(*back).ok);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.p2m";
+  std::string error;
+  EXPECT_FALSE(io::load_mesh("/no/such/file.p2m", &error).has_value());
+  {
+    std::ofstream(path, std::ios::binary) << "not a mesh at all";
+    EXPECT_FALSE(io::load_mesh(path, &error).has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos);
+  }
+  {
+    // Valid magic, truncated body.
+    std::ofstream out(path, std::ios::binary);
+    out.write("PI2MMSH1", 8);
+    const std::uint64_t huge = 1ull << 40;
+    out.write(reinterpret_cast<const char*>(&huge), 8);
+  }
+  EXPECT_FALSE(io::load_mesh(path, &error).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Vessels, ThinStructuresRecovered) {
+  const LabeledImage3D img = phantom::vessels(48, 2);
+  ASSERT_EQ(img.labels_present().size(), 3u);
+  const MeshingResult res = quick_mesh(img, 1.2, 2);
+  ASSERT_TRUE(res.ok());
+  std::size_t lumen = 0, wall = 0, tissue = 0;
+  for (const Label l : res.mesh.tet_labels) {
+    lumen += l == 1;
+    wall += l == 2;
+    tissue += l == 3;
+  }
+  // All three compartments meshed, including the thin vessel wall.
+  EXPECT_GT(lumen, 50u);
+  EXPECT_GT(wall, 100u);
+  EXPECT_GT(tissue, 500u);
+  EXPECT_TRUE(validate_mesh(res.mesh).ok);
+}
+
+// --- full-pipeline configuration sweep --------------------------------------
+
+struct SweepCase {
+  const char* phantom;
+  double delta;
+  int threads;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweep, MeshesValidateAcrossConfigs) {
+  const SweepCase c = GetParam();
+  LabeledImage3D img;
+  const std::string name = c.phantom;
+  if (name == "ball") img = phantom::ball(26, 0.7);
+  if (name == "shells") img = phantom::concentric_shells(26);
+  if (name == "abdominal") img = phantom::abdominal(26, 26, 26);
+  if (name == "knee") img = phantom::knee(26, 26, 26);
+  if (name == "vessels") img = phantom::vessels(30, 1);
+
+  const MeshingResult res = quick_mesh(img, c.delta, c.threads);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res.mesh.num_tets(), 0u);
+  const MeshValidation v = validate_mesh(res.mesh);
+  EXPECT_TRUE(v.ok) << name << ": "
+                    << (v.errors.empty() ? "" : v.errors.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineSweep,
+    ::testing::Values(SweepCase{"ball", 3.0, 1}, SweepCase{"ball", 1.6, 4},
+                      SweepCase{"shells", 2.4, 1}, SweepCase{"shells", 2.4, 4},
+                      SweepCase{"abdominal", 2.0, 2},
+                      SweepCase{"abdominal", 1.4, 8},
+                      SweepCase{"knee", 2.0, 2}, SweepCase{"knee", 1.4, 4},
+                      SweepCase{"vessels", 1.4, 2}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.phantom) + "_d" +
+             std::to_string(int(info.param.delta * 10)) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+}  // namespace
+}  // namespace pi2m
