@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_cli.dir/pi2m_cli.cpp.o"
+  "CMakeFiles/pi2m_cli.dir/pi2m_cli.cpp.o.d"
+  "pi2m"
+  "pi2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

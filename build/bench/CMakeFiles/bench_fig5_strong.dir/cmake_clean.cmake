@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_strong.dir/bench_fig5_strong.cpp.o"
+  "CMakeFiles/bench_fig5_strong.dir/bench_fig5_strong.cpp.o.d"
+  "bench_fig5_strong"
+  "bench_fig5_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

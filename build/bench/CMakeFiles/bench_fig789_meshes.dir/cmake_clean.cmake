@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig789_meshes.dir/bench_fig789_meshes.cpp.o"
+  "CMakeFiles/bench_fig789_meshes.dir/bench_fig789_meshes.cpp.o.d"
+  "bench_fig789_meshes"
+  "bench_fig789_meshes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig789_meshes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cm.dir/bench_table1_cm.cpp.o"
+  "CMakeFiles/bench_table1_cm.dir/bench_table1_cm.cpp.o.d"
+  "bench_table1_cm"
+  "bench_table1_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_weak.dir/bench_table4_weak.cpp.o"
+  "CMakeFiles/bench_table4_weak.dir/bench_table4_weak.cpp.o.d"
+  "bench_table4_weak"
+  "bench_table4_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

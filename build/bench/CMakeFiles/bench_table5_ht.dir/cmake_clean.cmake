@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ht.dir/bench_table5_ht.cpp.o"
+  "CMakeFiles/bench_table5_ht.dir/bench_table5_ht.cpp.o.d"
+  "bench_table5_ht"
+  "bench_table5_ht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_single.dir/bench_table6_single.cpp.o"
+  "CMakeFiles/bench_table6_single.dir/bench_table6_single.cpp.o.d"
+  "bench_table6_single"
+  "bench_table6_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_laplace.dir/fe_laplace.cpp.o"
+  "CMakeFiles/fe_laplace.dir/fe_laplace.cpp.o.d"
+  "fe_laplace"
+  "fe_laplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fe_laplace.
+# This may be replaced when dependencies are built.

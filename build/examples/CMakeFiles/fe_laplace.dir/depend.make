@@ -1,0 +1,2 @@
+# Empty dependencies file for fe_laplace.
+# This may be replaced when dependencies are built.

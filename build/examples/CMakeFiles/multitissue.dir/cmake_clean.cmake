@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitissue.dir/multitissue.cpp.o"
+  "CMakeFiles/multitissue.dir/multitissue.cpp.o.d"
+  "multitissue"
+  "multitissue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitissue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tuning.dir/parallel_tuning.cpp.o"
+  "CMakeFiles/parallel_tuning.dir/parallel_tuning.cpp.o.d"
+  "parallel_tuning"
+  "parallel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_field.dir/sizing_field.cpp.o"
+  "CMakeFiles/sizing_field.dir/sizing_field.cpp.o.d"
+  "sizing_field"
+  "sizing_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_baselines.dir/baselines/plc_mesher.cpp.o"
+  "CMakeFiles/pi2m_baselines.dir/baselines/plc_mesher.cpp.o.d"
+  "CMakeFiles/pi2m_baselines.dir/baselines/seq_mesher.cpp.o"
+  "CMakeFiles/pi2m_baselines.dir/baselines/seq_mesher.cpp.o.d"
+  "libpi2m_baselines.a"
+  "libpi2m_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pi2m.cpp" "src/CMakeFiles/pi2m_core.dir/core/pi2m.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/pi2m.cpp.o.d"
+  "/root/repo/src/core/refiner.cpp" "src/CMakeFiles/pi2m_core.dir/core/refiner.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/refiner.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/CMakeFiles/pi2m_core.dir/core/rules.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/rules.cpp.o.d"
+  "/root/repo/src/core/sizing.cpp" "src/CMakeFiles/pi2m_core.dir/core/sizing.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/sizing.cpp.o.d"
+  "/root/repo/src/core/smoothing.cpp" "src/CMakeFiles/pi2m_core.dir/core/smoothing.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/smoothing.cpp.o.d"
+  "/root/repo/src/core/spatial_grid.cpp" "src/CMakeFiles/pi2m_core.dir/core/spatial_grid.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/spatial_grid.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/pi2m_core.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/pi2m_core.dir/core/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pi2m_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_predicates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

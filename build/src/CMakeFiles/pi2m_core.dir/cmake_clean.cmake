@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_core.dir/core/pi2m.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/pi2m.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/refiner.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/refiner.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/rules.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/rules.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/sizing.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/sizing.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/smoothing.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/smoothing.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/spatial_grid.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/spatial_grid.cpp.o.d"
+  "CMakeFiles/pi2m_core.dir/core/validate.cpp.o"
+  "CMakeFiles/pi2m_core.dir/core/validate.cpp.o.d"
+  "libpi2m_core.a"
+  "libpi2m_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delaunay/insert.cpp" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/insert.cpp.o" "gcc" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/insert.cpp.o.d"
+  "/root/repo/src/delaunay/local_dt.cpp" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/local_dt.cpp.o" "gcc" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/local_dt.cpp.o.d"
+  "/root/repo/src/delaunay/locate.cpp" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/locate.cpp.o" "gcc" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/locate.cpp.o.d"
+  "/root/repo/src/delaunay/mesh.cpp" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/mesh.cpp.o" "gcc" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/mesh.cpp.o.d"
+  "/root/repo/src/delaunay/remove.cpp" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/remove.cpp.o" "gcc" "src/CMakeFiles/pi2m_delaunay.dir/delaunay/remove.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pi2m_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_predicates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

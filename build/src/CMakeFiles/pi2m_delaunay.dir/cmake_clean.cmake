@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/insert.cpp.o"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/insert.cpp.o.d"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/local_dt.cpp.o"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/local_dt.cpp.o.d"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/locate.cpp.o"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/locate.cpp.o.d"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/mesh.cpp.o"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/mesh.cpp.o.d"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/remove.cpp.o"
+  "CMakeFiles/pi2m_delaunay.dir/delaunay/remove.cpp.o.d"
+  "libpi2m_delaunay.a"
+  "libpi2m_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_fem.dir/fem/laplace.cpp.o"
+  "CMakeFiles/pi2m_fem.dir/fem/laplace.cpp.o.d"
+  "libpi2m_fem.a"
+  "libpi2m_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_geometry.dir/geometry/tetra.cpp.o"
+  "CMakeFiles/pi2m_geometry.dir/geometry/tetra.cpp.o.d"
+  "libpi2m_geometry.a"
+  "libpi2m_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

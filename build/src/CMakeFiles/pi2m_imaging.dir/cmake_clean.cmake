@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_imaging.dir/imaging/edt.cpp.o"
+  "CMakeFiles/pi2m_imaging.dir/imaging/edt.cpp.o.d"
+  "CMakeFiles/pi2m_imaging.dir/imaging/image3d.cpp.o"
+  "CMakeFiles/pi2m_imaging.dir/imaging/image3d.cpp.o.d"
+  "CMakeFiles/pi2m_imaging.dir/imaging/isosurface.cpp.o"
+  "CMakeFiles/pi2m_imaging.dir/imaging/isosurface.cpp.o.d"
+  "CMakeFiles/pi2m_imaging.dir/imaging/phantom.cpp.o"
+  "CMakeFiles/pi2m_imaging.dir/imaging/phantom.cpp.o.d"
+  "CMakeFiles/pi2m_imaging.dir/imaging/resample.cpp.o"
+  "CMakeFiles/pi2m_imaging.dir/imaging/resample.cpp.o.d"
+  "libpi2m_imaging.a"
+  "libpi2m_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_io.dir/io/image_io.cpp.o"
+  "CMakeFiles/pi2m_io.dir/io/image_io.cpp.o.d"
+  "CMakeFiles/pi2m_io.dir/io/mesh_serialize.cpp.o"
+  "CMakeFiles/pi2m_io.dir/io/mesh_serialize.cpp.o.d"
+  "CMakeFiles/pi2m_io.dir/io/tables.cpp.o"
+  "CMakeFiles/pi2m_io.dir/io/tables.cpp.o.d"
+  "CMakeFiles/pi2m_io.dir/io/writers.cpp.o"
+  "CMakeFiles/pi2m_io.dir/io/writers.cpp.o.d"
+  "libpi2m_io.a"
+  "libpi2m_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_metrics.dir/metrics/hausdorff.cpp.o"
+  "CMakeFiles/pi2m_metrics.dir/metrics/hausdorff.cpp.o.d"
+  "CMakeFiles/pi2m_metrics.dir/metrics/quality.cpp.o"
+  "CMakeFiles/pi2m_metrics.dir/metrics/quality.cpp.o.d"
+  "libpi2m_metrics.a"
+  "libpi2m_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

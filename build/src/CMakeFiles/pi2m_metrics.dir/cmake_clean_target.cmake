@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpi2m_metrics.a"
+)

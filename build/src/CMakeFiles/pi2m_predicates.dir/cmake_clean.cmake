@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_predicates.dir/predicates/expansion.cpp.o"
+  "CMakeFiles/pi2m_predicates.dir/predicates/expansion.cpp.o.d"
+  "CMakeFiles/pi2m_predicates.dir/predicates/predicates.cpp.o"
+  "CMakeFiles/pi2m_predicates.dir/predicates/predicates.cpp.o.d"
+  "libpi2m_predicates.a"
+  "libpi2m_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

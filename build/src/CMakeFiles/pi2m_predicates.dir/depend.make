@@ -1,0 +1,2 @@
+# Empty dependencies file for pi2m_predicates.
+# This may be replaced when dependencies are built.

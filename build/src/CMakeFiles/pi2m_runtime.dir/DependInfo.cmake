@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/contention.cpp" "src/CMakeFiles/pi2m_runtime.dir/runtime/contention.cpp.o" "gcc" "src/CMakeFiles/pi2m_runtime.dir/runtime/contention.cpp.o.d"
+  "/root/repo/src/runtime/stats.cpp" "src/CMakeFiles/pi2m_runtime.dir/runtime/stats.cpp.o" "gcc" "src/CMakeFiles/pi2m_runtime.dir/runtime/stats.cpp.o.d"
+  "/root/repo/src/runtime/topology.cpp" "src/CMakeFiles/pi2m_runtime.dir/runtime/topology.cpp.o" "gcc" "src/CMakeFiles/pi2m_runtime.dir/runtime/topology.cpp.o.d"
+  "/root/repo/src/runtime/workstealing.cpp" "src/CMakeFiles/pi2m_runtime.dir/runtime/workstealing.cpp.o" "gcc" "src/CMakeFiles/pi2m_runtime.dir/runtime/workstealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi2m_runtime.dir/runtime/contention.cpp.o"
+  "CMakeFiles/pi2m_runtime.dir/runtime/contention.cpp.o.d"
+  "CMakeFiles/pi2m_runtime.dir/runtime/stats.cpp.o"
+  "CMakeFiles/pi2m_runtime.dir/runtime/stats.cpp.o.d"
+  "CMakeFiles/pi2m_runtime.dir/runtime/topology.cpp.o"
+  "CMakeFiles/pi2m_runtime.dir/runtime/topology.cpp.o.d"
+  "CMakeFiles/pi2m_runtime.dir/runtime/workstealing.cpp.o"
+  "CMakeFiles/pi2m_runtime.dir/runtime/workstealing.cpp.o.d"
+  "libpi2m_runtime.a"
+  "libpi2m_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi2m_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pi2m_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_predicates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_delaunay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pi2m_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

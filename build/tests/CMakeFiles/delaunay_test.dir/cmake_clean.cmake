@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delaunay_test.dir/delaunay_test.cpp.o"
+  "CMakeFiles/delaunay_test.dir/delaunay_test.cpp.o.d"
+  "delaunay_test"
+  "delaunay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delaunay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_test.dir/fem_test.cpp.o"
+  "CMakeFiles/fem_test.dir/fem_test.cpp.o.d"
+  "fem_test"
+  "fem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imaging_test.dir/imaging_test.cpp.o"
+  "CMakeFiles/imaging_test.dir/imaging_test.cpp.o.d"
+  "imaging_test"
+  "imaging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

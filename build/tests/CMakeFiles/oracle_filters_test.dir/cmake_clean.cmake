@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_filters_test.dir/oracle_filters_test.cpp.o"
+  "CMakeFiles/oracle_filters_test.dir/oracle_filters_test.cpp.o.d"
+  "oracle_filters_test"
+  "oracle_filters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_serialize_test.dir/validate_serialize_test.cpp.o"
+  "CMakeFiles/validate_serialize_test.dir/validate_serialize_test.cpp.o.d"
+  "validate_serialize_test"
+  "validate_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
