@@ -43,13 +43,24 @@ void BM_Orient3dFiltered(benchmark::State& state) {
 BENCHMARK(BM_Orient3dFiltered);
 
 void BM_Orient3dExactPath(benchmark::State& state) {
-  // Coplanar inputs force the expansion-arithmetic fallback every call.
+  // Coplanar inputs defeat the stage-A static filter on every call. Before
+  // the adaptive ladder this meant the full expansion-arithmetic fallback;
+  // now stage B certifies the zero (exact translations -> zero tails).
   const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0.3, 0.4, 0};
   for (auto _ : state) {
     benchmark::DoNotOptimize(orient3d(a, b, c, d));
   }
 }
 BENCHMARK(BM_Orient3dExactPath);
+
+void BM_Orient3dStageD(benchmark::State& state) {
+  // Reference cost of the final full-exact stage, called directly.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 1, 0}, d{0.3, 0.4, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orient3d_exact(a, b, c, d));
+  }
+}
+BENCHMARK(BM_Orient3dStageD);
 
 void BM_InsphereFiltered(benchmark::State& state) {
   const auto pts = random_points(4096, 2);
@@ -64,13 +75,23 @@ void BM_InsphereFiltered(benchmark::State& state) {
 BENCHMARK(BM_InsphereFiltered);
 
 void BM_InsphereExactPath(benchmark::State& state) {
-  // Cospherical cube corners force the exact fallback.
+  // Cospherical cube corners defeat the stage-A filter every call; the
+  // adaptive stage B now certifies the zero without dynamic expansions.
   const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 0, 1}, d{0, 1, 0}, e{1, 1, 1};
   for (auto _ : state) {
     benchmark::DoNotOptimize(insphere(a, b, c, d, e));
   }
 }
 BENCHMARK(BM_InsphereExactPath);
+
+void BM_InsphereStageD(benchmark::State& state) {
+  // Reference cost of the final full-exact stage, called directly.
+  const Vec3 a{0, 0, 0}, b{1, 0, 0}, c{0, 0, 1}, d{0, 1, 0}, e{1, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insphere_exact(a, b, c, d, e));
+  }
+}
+BENCHMARK(BM_InsphereStageD);
 
 void BM_EdtConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

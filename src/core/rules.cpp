@@ -77,15 +77,23 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
     const auto hit = oracle.segment_surface_intersection(cs.center, ncs.center);
     if (!hit.has_value()) continue;
 
-    const Vec3& fa = mesh.vertex(cl.v[kFaceOf[i][0]]).pos;
-    const Vec3& fb = mesh.vertex(cl.v[kFaceOf[i][1]]).pos;
-    const Vec3& fc = mesh.vertex(cl.v[kFaceOf[i][2]]).pos;
+    // Acquire atomic_ref reads: classification runs without vertex locks
+    // (the insertion re-validates the cell's generation afterwards), so a
+    // commit may concurrently rewrite this recycled slot's v array.
+    std::array<VertexId, 3> fv;
+    for (int k = 0; k < 3; ++k) {
+      fv[static_cast<std::size_t>(k)] =
+          std::atomic_ref(const_cast<VertexId&>(cl.v[kFaceOf[i][k]]))
+              .load(std::memory_order_acquire);
+    }
+    const Vec3& fa = mesh.vertex(fv[0]).pos;
+    const Vec3& fb = mesh.vertex(fv[1]).pos;
+    const Vec3& fc = mesh.vertex(fv[2]).pos;
     const bool bad_angle =
         min_triangle_angle(fa, fb, fc) < cfg.min_planar_angle_deg;
-    const bool off_surface =
-        !on_surface(mesh.vertex(cl.v[kFaceOf[i][0]]).kind) ||
-        !on_surface(mesh.vertex(cl.v[kFaceOf[i][1]]).kind) ||
-        !on_surface(mesh.vertex(cl.v[kFaceOf[i][2]]).kind);
+    const bool off_surface = !on_surface(mesh.vertex(fv[0]).kind) ||
+                             !on_surface(mesh.vertex(fv[1]).kind) ||
+                             !on_surface(mesh.vertex(fv[2]).kind);
     if (!bad_angle && !off_surface) continue;
 
     // Degeneracy guard: a surface-center (numerically) on top of a facet

@@ -1,0 +1,120 @@
+// Epoch-stamped open-addressing hash tables for the Bowyer-Watson commit
+// paths: cavity-boundary edge -> (new cell, face) gluing during insertion and
+// face-triple -> (cell, face) pairing during ball re-triangulation.
+//
+// Design constraints (hot path, one table per OpScratch / LocalDelaunay):
+//  * zero allocation per operation: begin() only reallocates when the cavity
+//    outgrows every previous one seen by this scratch;
+//  * O(1) clear: slots carry the epoch of the operation that wrote them, so
+//    stale slots from earlier operations are simply invisible;
+//  * no tombstones: a matched slot is "consumed" in place (faces and edges
+//    pair up exactly twice in a valid complex), and the live-slot count
+//    provides the "all matched" post-condition check.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace pi2m {
+
+inline std::uint64_t glue_mix64(std::uint64_t x) {
+  // splitmix64 finalizer: full-avalanche mixing for sequential ids.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t glue_hash(std::uint64_t key) { return glue_mix64(key); }
+
+template <typename T>
+inline std::uint64_t glue_hash(const std::array<T, 3>& key) {
+  std::uint64_t h = glue_mix64(static_cast<std::uint64_t>(key[0]));
+  h = glue_mix64(h ^ static_cast<std::uint64_t>(key[1]));
+  return glue_mix64(h ^ static_cast<std::uint64_t>(key[2]));
+}
+
+/// Packs an undirected edge (two 32-bit vertex ids) into one table key.
+inline std::uint64_t edge_key(std::uint32_t u, std::uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+template <typename Key, typename Value>
+class GlueTable {
+ public:
+  struct Slot {
+    Key key{};
+    std::uint64_t epoch = 0;
+    Value value{};
+    bool live = false;  ///< false once matched (consumed)
+  };
+
+  /// Starts a new operation expecting up to `expected` insertions. Keeps the
+  /// load factor at or below 1/2; reallocates (and implicitly clears) only
+  /// when the table must grow.
+  void begin(std::size_t expected) {
+    std::size_t want = 16;
+    while (want < 2 * expected + 1) want <<= 1;
+    if (want > slots_.size()) {
+      slots_.assign(want, Slot{});
+      epoch_ = 0;
+    }
+    ++epoch_;
+    live_ = 0;
+  }
+
+  /// Looks up `key`; when absent, inserts it with `value` and returns
+  /// nullptr. When present and live, returns the slot (caller typically
+  /// glues and then consume()s it). Re-inserting a consumed key is a
+  /// protocol violation (a face/edge can only pair twice).
+  Slot* find_or_insert(const Key& key, const Value& value) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = glue_hash(key) & mask;
+    for (;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) {
+        s.key = key;
+        s.epoch = epoch_;
+        s.value = value;
+        s.live = true;
+        ++live_;
+        return nullptr;
+      }
+      if (s.key == key) {
+        PI2M_CHECK(s.live, "glue table key matched more than twice");
+        return &s;
+      }
+    }
+  }
+
+  /// Finds the live slot for `key`, nullptr when absent or consumed.
+  Slot* find(const Key& key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = glue_hash(key) & mask;
+    for (;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) return nullptr;
+      if (s.key == key) return s.live ? &s : nullptr;
+    }
+  }
+
+  void consume(Slot* s) {
+    s->live = false;
+    --live_;
+  }
+
+  /// Number of inserted-but-unmatched slots in the current operation.
+  [[nodiscard]] std::size_t live() const { return live_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pi2m

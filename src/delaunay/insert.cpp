@@ -1,5 +1,3 @@
-#include <algorithm>
-
 #include "delaunay/operations.hpp"
 #include "predicates/predicates.hpp"
 
@@ -23,20 +21,31 @@ void unlock_all(DelaunayMesh& mesh, int tid, OpScratch& s) {
 
 bool lock_cell_vertices(DelaunayMesh& mesh, CellId c, int tid, OpScratch& s,
                         std::int32_t& held_by) {
-  const Cell& cl = mesh.cell(c);
+  Cell& cl = mesh.cell(c);
   for (int i = 0; i < 4; ++i) {
-    if (!lock_vertex(mesh, cl.v[i], tid, s, held_by)) return false;
+    // Acquire atomic_ref read: `c` is not locked yet, so a concurrent commit
+    // may be rewriting this (recycled) slot. Callers re-check liveness and
+    // containment after all four locks are held.
+    const VertexId vi =
+        std::atomic_ref(cl.v[i]).load(std::memory_order_acquire);
+    if (!lock_vertex(mesh, vi, tid, s, held_by)) return false;
   }
   return true;
-}
-
-bool contains_id(const std::vector<CellId>& v, CellId c) {
-  return std::find(v.begin(), v.end(), c) != v.end();
 }
 
 int insphere_cell(const DelaunayMesh& mesh, CellId c, const Vec3& p) {
   const auto pos = mesh.positions(c);
   return insphere(pos[0], pos[1], pos[2], pos[3], p);
+}
+
+/// Index of the face of `nb` adjacent to cell `c`. Valid while `nb`'s face
+/// vertices stay locked (no other thread may rewire a face it cannot lock).
+int mirror_face(const DelaunayMesh& mesh, CellId nb, CellId c) {
+  const Cell& cl = mesh.cell(nb);
+  for (int j = 0; j < 4; ++j) {
+    if (cl.n[j].load(std::memory_order_relaxed) == c) return j;
+  }
+  return -1;
 }
 
 /// Grows the conflict cavity from the locked, alive, conflicting cell `c0`,
@@ -45,7 +54,15 @@ int insphere_cell(const DelaunayMesh& mesh, CellId c, const Vec3& p) {
 OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
                          CellId c0, int tid, OpScratch& s) {
   OpResult res;
+  // Membership in the cavity / outside-rind is tracked by stamping cells with
+  // this operation's globally unique epoch (O(1) probe; see Cell::mark). A
+  // cell is only ever stamped while this thread holds all of its vertices,
+  // and the pre-lock probe tolerates foreign stamps because epochs never
+  // repeat across threads or operations.
+  const std::uint64_t in_cavity = s.cavity_mark();
+  const std::uint64_t is_outside = s.outside_mark();
   s.cavity.push_back(c0);
+  mesh.cell(c0).mark.store(in_cavity, std::memory_order_relaxed);
   s.bfs.push_back(c0);
   while (!s.bfs.empty()) {
     const CellId c = s.bfs.back();
@@ -57,12 +74,14 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
       const VertexId fb = cl.v[kFaceOf[i][1]];
       const VertexId fc = cl.v[kFaceOf[i][2]];
       if (nb == kNoCell) {
-        s.bfaces.push_back({c, i, kNoCell, fa, fb, fc});
+        s.bfaces.push_back({c, i, kNoCell, -1, fa, fb, fc});
         continue;
       }
-      if (contains_id(s.cavity, nb)) continue;
-      if (contains_id(s.outside, nb)) {
-        s.bfaces.push_back({c, i, nb, fa, fb, fc});
+      const std::uint64_t nb_mark =
+          mesh.cell(nb).mark.load(std::memory_order_relaxed);
+      if (nb_mark == in_cavity) continue;
+      if (nb_mark == is_outside) {
+        s.bfaces.push_back({c, i, nb, mirror_face(mesh, nb, c), fa, fb, fc});
         continue;
       }
       std::int32_t held_by = -1;
@@ -76,10 +95,11 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
                  "neighbour of a locked cell died (locking protocol bug)");
       if (insphere_cell(mesh, nb, p) > 0) {
         s.cavity.push_back(nb);
+        mesh.cell(nb).mark.store(in_cavity, std::memory_order_relaxed);
         s.bfs.push_back(nb);
       } else {
-        s.outside.push_back(nb);
-        s.bfaces.push_back({c, i, nb, fa, fb, fc});
+        mesh.cell(nb).mark.store(is_outside, std::memory_order_relaxed);
+        s.bfaces.push_back({c, i, nb, mirror_face(mesh, nb, c), fa, fb, fc});
       }
     }
   }
@@ -99,37 +119,46 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
   const VertexId pv = mesh.create_vertex(p, kind, tid);  // born locked
   s.locked.push_back(pv);
 
+  // Each cavity-boundary edge is shared by exactly two boundary faces, so
+  // every edge pairs up exactly once: O(1) hashed find-or-insert replaces the
+  // former O(edges) scan per edge.
+  s.edge_glue.begin(s.bfaces.size() * 3 / 2 + 1);
   for (const OpScratch::BFace& bf : s.bfaces) {
     const CellId nc = mesh.allocate_cell(s.freelist);
     Cell& cl = mesh.cell(nc);
-    cl.v = {bf.a, bf.b, bf.c, pv};
+    // Release stores: the unlocked locate walk snapshots v with acquire
+    // atomic_refs (locate.cpp); pairing with these stores extends the
+    // vertex-lock happens-before chain to the walker's position reads.
+    const std::array<VertexId, 4> nv{bf.a, bf.b, bf.c, pv};
+    for (int k = 0; k < 4; ++k) {
+      std::atomic_ref(cl.v[k]).store(nv[k], std::memory_order_release);
+    }
     cl.n[3].store(bf.outside, std::memory_order_release);
     if (bf.outside != kNoCell) {
-      const int j = mesh.face_index_of(bf.outside, bf.a, bf.b, bf.c);
-      PI2M_CHECK(j >= 0, "cavity boundary face missing from outside cell");
-      mesh.cell(bf.outside).n[j].store(nc, std::memory_order_release);
+      PI2M_CHECK(bf.mirror >= 0,
+                 "cavity boundary face missing from outside cell");
+      mesh.cell(bf.outside).n[bf.mirror].store(nc, std::memory_order_release);
     }
     // Internal gluing: new-cell face k (k<3) lies on edge (base minus k) + p.
     const std::array<VertexId, 3> base{bf.a, bf.b, bf.c};
     for (int k = 0; k < 3; ++k) {
-      VertexId u = base[(k + 1) % 3], v = base[(k + 2) % 3];
-      if (u > v) std::swap(u, v);
-      bool linked = false;
-      for (const OpScratch::EdgeSlot& e : s.edgemap) {
-        if (e.u == u && e.v == v) {
-          cl.n[k].store(e.cell, std::memory_order_release);
-          mesh.cell(e.cell).n[e.face].store(nc, std::memory_order_release);
-          linked = true;
-          break;
-        }
+      const std::uint64_t key = edge_key(base[(k + 1) % 3], base[(k + 2) % 3]);
+      auto* slot = s.edge_glue.find_or_insert(key, {nc, k});
+      if (slot != nullptr) {
+        cl.n[k].store(slot->value.cell, std::memory_order_release);
+        mesh.cell(slot->value.cell)
+            .n[slot->value.face]
+            .store(nc, std::memory_order_release);
+        s.edge_glue.consume(slot);
       }
-      if (!linked) s.edgemap.push_back({u, v, nc, k});
     }
     for (VertexId v : {bf.a, bf.b, bf.c, pv}) {
       mesh.vertex(v).incident_hint.store(nc, std::memory_order_relaxed);
     }
     s.created.push_back(nc);
   }
+  PI2M_CHECK(s.edge_glue.live() == 0,
+             "unmatched cavity-boundary edge after re-fill");
 
   for (const CellId c : s.cavity) mesh.retire_cell(c, s.freelist);
   unlock_all(mesh, tid, s);
@@ -143,7 +172,7 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
 
 OpResult insert_point(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
                       CellId hint, int tid, OpScratch& s) {
-  s.reset();
+  s.begin_op();
   OpResult res;
   if (!mesh.box().contains(p)) {
     res.status = OpStatus::Failed;
@@ -172,9 +201,11 @@ OpResult insert_point(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
       return res;
     }
     if (!mesh.cell_alive(loc.cell)) {
-      // The cell died between the walk and the lock; re-walk.
+      // The cell died between the walk and the lock; re-walk from an alive
+      // cell near where the last walk ended (restarting from the original
+      // hint — possibly long dead — would retread the same ground).
       unlock_all(mesh, tid, s);
-      start = hint;
+      start = any_alive_cell(mesh, loc.cell);
       continue;
     }
     // Containment re-check under locks (the unlocked walk is best-effort).
@@ -187,8 +218,11 @@ OpResult insert_point(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
       }
     }
     if (!inside_cell) {
+      // The best-effort walk stopped one or more cells short (concurrent
+      // restructuring): resume from where it stopped so retries make
+      // progress instead of re-walking from the stale hint.
       unlock_all(mesh, tid, s);
-      start = hint;
+      start = loc.cell;
       continue;
     }
     c0 = loc.cell;
@@ -213,7 +247,7 @@ OpResult insert_point_in_conflict(DelaunayMesh& mesh, const Vec3& p,
                                   VertexKind kind, CellId conflict,
                                   std::uint32_t conflict_gen, int tid,
                                   OpScratch& s) {
-  s.reset();
+  s.begin_op();
   OpResult res;
   if (!mesh.box().contains(p)) {
     res.status = OpStatus::Failed;

@@ -1,7 +1,6 @@
 #include "delaunay/local_dt.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "delaunay/mesh.hpp"  // kFaceOf
 #include "predicates/predicates.hpp"
@@ -113,11 +112,13 @@ bool LocalDelaunay::insert(int pi) {
   auto& cavity = cavity_;
   auto& stack = stack_;
   auto& bfaces = bfaces_;
+  const std::uint64_t epoch = ++cavity_epoch_;
   cavity.assign(1, start);
+  tets_[static_cast<std::size_t>(start)].mark = epoch;
   stack.assign(1, start);
   bfaces.clear();
   auto in_cavity = [&](int ti) {
-    return std::find(cavity.begin(), cavity.end(), ti) != cavity.end();
+    return tets_[static_cast<std::size_t>(ti)].mark == epoch;
   };
   while (!stack.empty()) {
     const int ti = stack.back();
@@ -135,6 +136,7 @@ bool LocalDelaunay::insert(int pi) {
       if (in_cavity(nb)) continue;
       if (in_sphere(nb) > 0) {
         cavity.push_back(nb);
+        tets_[static_cast<std::size_t>(nb)].mark = epoch;
         stack.push_back(nb);
       } else {
         bfaces.push_back({a, b, c, nb});
@@ -152,12 +154,9 @@ bool LocalDelaunay::insert(int pi) {
 
   for (int ti : cavity) tets_[static_cast<std::size_t>(ti)].alive = false;
 
-  // Small cavities: a flat map with linear probing beats std::map.
-  struct EdgeSlot {
-    int u, v, tet, face;
-  };
-  static thread_local std::vector<EdgeSlot> edgemap;
-  edgemap.clear();
+  // Hashed boundary-edge gluing: each cavity-boundary edge pairs exactly
+  // twice, so every lookup is O(1) in the epoch-stamped table.
+  edge_glue_.begin(bfaces.size() * 3 / 2 + 1);
   for (const BFace& bf : bfaces) {
     const int nt = static_cast<int>(tets_.size());
     Tet t;
@@ -181,18 +180,16 @@ bool LocalDelaunay::insert(int pi) {
     }
     const std::array<int, 3> base{bf.a, bf.b, bf.c};
     for (int k = 0; k < 3; ++k) {
-      int u = base[(k + 1) % 3], v = base[(k + 2) % 3];
-      if (u > v) std::swap(u, v);
-      bool linked = false;
-      for (const EdgeSlot& e : edgemap) {
-        if (e.u == u && e.v == v) {
-          tets_[static_cast<std::size_t>(nt)].n[k] = e.tet;
-          tets_[static_cast<std::size_t>(e.tet)].n[e.face] = nt;
-          linked = true;
-          break;
-        }
+      const std::uint64_t key =
+          edge_key(static_cast<std::uint32_t>(base[(k + 1) % 3]),
+                   static_cast<std::uint32_t>(base[(k + 2) % 3]));
+      auto* slot = edge_glue_.find_or_insert(key, {nt, k});
+      if (slot != nullptr) {
+        tets_[static_cast<std::size_t>(nt)].n[k] = slot->value.tet;
+        tets_[static_cast<std::size_t>(slot->value.tet)].n[slot->value.face] =
+            nt;
+        edge_glue_.consume(slot);
       }
-      if (!linked) edgemap.push_back({u, v, nt, k});
     }
   }
   return true;

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "delaunay/glue_table.hpp"
 #include "geometry/vec3.hpp"
 
 namespace pi2m {
@@ -24,6 +25,8 @@ class LocalDelaunay {
     std::array<int, 4> v;
     std::array<int, 4> n;  ///< -1 past the auxiliary hull
     bool alive = false;
+    std::uint64_t mark = 0;  ///< cavity stamp of the insertion that last
+                             ///< examined this tet (single-threaded, plain)
   };
 
   /// Builds the triangulation of `pts` (inserted in the given order).
@@ -83,6 +86,15 @@ class LocalDelaunay {
   // Reused per-insert scratch (hot path for removal re-triangulation).
   std::vector<int> cavity_, stack_;
   std::vector<BFace> bfaces_;
+  struct GlueRef {
+    int tet;
+    int face;
+  };
+  GlueTable<std::uint64_t, GlueRef> edge_glue_;
+  /// Monotonic per-instance stamp; a tet is in the current cavity iff its
+  /// mark equals this. Survives rebuild() (fresh tets start at mark 0 and
+  /// the stamp only grows), so no O(tets) clearing is ever needed.
+  std::uint64_t cavity_epoch_ = 0;
   bool ok_ = false;
 };
 

@@ -31,7 +31,17 @@ LocateResult locate_point(const DelaunayMesh& mesh, const Vec3& p, CellId hint,
     const std::uint32_t g1 = mesh.cell_gen(c);
     if ((g1 & 1u) == 0) return out;  // dead cell: walk disrupted
     const Cell& cl = mesh.cell(c);
-    const std::array<VertexId, 4> vs = cl.v;
+    // Acquire atomic_ref loads: v may be concurrently rewritten by a commit
+    // recycling this slot (the committer uses release stores). Reading-from
+    // such a store synchronizes-with it, which — via the writer's vertex
+    // locks — orders every vertex position write before our reads below.
+    // A torn *snapshot* (mixed old/new ids) is still possible and merely
+    // sends the walk astray; callers re-validate containment under locks.
+    std::array<VertexId, 4> vs;
+    for (int i = 0; i < 4; ++i) {
+      vs[i] = std::atomic_ref(const_cast<VertexId&>(cl.v[i]))
+                  .load(std::memory_order_acquire);
+    }
     std::array<CellId, 4> ns;
     for (int i = 0; i < 4; ++i) ns[i] = cl.n[i].load(std::memory_order_acquire);
     if (mesh.cell_gen(c) != g1) continue;  // torn snapshot; re-read same slot

@@ -5,10 +5,22 @@
 #include <sstream>
 #include <tuple>
 
+#include "delaunay/operations.hpp"
 #include "geometry/tetra.hpp"
 #include "predicates/predicates.hpp"
 
 namespace pi2m {
+
+namespace detail {
+
+std::uint64_t acquire_epoch_block(std::uint64_t count) {
+  // Starts at 1 so no operation ever uses epoch 0: freshly-constructed cells
+  // carry mark == 0, which must never match a live epoch.
+  static std::atomic<std::uint64_t> g_next_epoch{1};
+  return g_next_epoch.fetch_add(count, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 DelaunayMesh::DelaunayMesh(const Aabb& box, std::size_t max_vertices,
                            std::size_t max_cells)
@@ -60,21 +72,38 @@ CellId DelaunayMesh::allocate_cell(CellFreeList& fl) {
   }
   Cell& c = cells_[id];
   // even -> odd: alive. Release pairs with generation re-checks in readers.
-  c.gen.fetch_add(1, std::memory_order_release);
+  // Plain load+store instead of an RMW: the slot is exclusively ours here
+  // (fresh from the arena, or from this thread's own freelist), so there is
+  // no competing writer to serialize against.
+  c.gen.store(c.gen.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
   return id;
 }
 
 void DelaunayMesh::retire_cell(CellId cid, CellFreeList& fl) {
   Cell& c = cells_[cid];
-  const std::uint32_t g = c.gen.fetch_add(1, std::memory_order_release);
+  // Single writer: only the thread holding all four vertex locks may retire
+  // a cell, so load+store needs no lock prefix.
+  const std::uint32_t g = c.gen.load(std::memory_order_relaxed);
   PI2M_CHECK((g & 1u) != 0, "retiring a cell that is not alive");
+  c.gen.store(g + 1, std::memory_order_release);
   fl.slots.push_back(cid);
 }
 
 std::array<Vec3, 4> DelaunayMesh::positions(CellId c) const {
+  // Acquire atomic_ref reads of v: some callers (locate walk, refiner work
+  // distribution) snapshot cells without holding their vertex locks, racing
+  // with commits that rewrite recycled slots; lock-holding callers pay a
+  // plain load on x86. Reading-from a committer's release store orders the
+  // vertices' position writes before the pos reads below.
   const Cell& cl = cells_[c];
-  return {vertices_[cl.v[0]].pos, vertices_[cl.v[1]].pos,
-          vertices_[cl.v[2]].pos, vertices_[cl.v[3]].pos};
+  std::array<Vec3, 4> out;
+  for (int i = 0; i < 4; ++i) {
+    const VertexId vi = std::atomic_ref(const_cast<VertexId&>(cl.v[i]))
+                            .load(std::memory_order_acquire);
+    out[static_cast<std::size_t>(i)] = vertices_[vi].pos;
+  }
+  return out;
 }
 
 std::size_t DelaunayMesh::count_alive_cells() const {

@@ -57,12 +57,21 @@ struct Vertex {
 };
 
 struct Cell {
+  /// Plain for lock-holding readers/writers; the lock-free locate walk and
+  /// the commit paths that rewrite recycled slots access elements through
+  /// std::atomic_ref (release store / acquire load) — see locate.cpp.
   std::array<VertexId, 4> v{kNoVertex, kNoVertex, kNoVertex, kNoVertex};
   /// n[i] is the cell across the face opposite v[i]; kNoCell on the hull of
   /// the virtual box.
   std::array<std::atomic<CellId>, 4> n{kNoCell, kNoCell, kNoCell, kNoCell};
   /// Odd = alive. Incremented on retire and again on reuse.
   std::atomic<std::uint32_t> gen{0};
+  /// Cavity-membership stamp for the operation that last examined this cell
+  /// (see OpScratch::begin_op). Epoch values are globally unique across
+  /// threads and operations, so a stale or foreign stamp can never alias the
+  /// reader's current epoch; relaxed atomics keep the unsynchronized probe
+  /// race-free. Low bit: 0 = in-cavity, 1 = outside (rejected neighbour).
+  std::atomic<std::uint64_t> mark{0};
 };
 
 /// Vertex triple of face i of a positively-oriented cell (v0,v1,v2,v3),

@@ -9,13 +9,19 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "delaunay/glue_table.hpp"
 #include "delaunay/mesh.hpp"
 
 namespace pi2m {
+
+namespace detail {
+/// Hands out a block of `count` epoch values disjoint from every other block
+/// ever issued (single process-wide atomic, bumped once per ~64k operations
+/// per scratch, so it is never contended on the per-operation path).
+std::uint64_t acquire_epoch_block(std::uint64_t count);
+}  // namespace detail
 
 enum class OpStatus : std::uint8_t {
   Success,   ///< mesh mutated, new cells reported
@@ -32,9 +38,12 @@ struct OpResult {
 };
 
 /// Reusable per-thread scratch buffers so the hot path never allocates.
-/// Membership tests are linear scans over small vectors: conflict cavities
-/// average 15-30 cells, where a scan beats any hash container (and clears
-/// in O(size), not O(buckets)).
+/// Cavity membership is O(1) via epoch-stamped cell marks: begin_op() draws a
+/// globally unique epoch, cells entering the cavity (or its rejected-outside
+/// rind) are stamped with it, and membership is a single relaxed load —
+/// replacing the former O(cavity) linear scans that made cavity growth
+/// quadratic. Face/edge gluing during commit goes through epoch-stamped hash
+/// tables (GlueTable), also O(1) per face.
 ///
 /// A scratch is bound to ONE mesh for its lifetime: its `freelist` holds
 /// retired cell slots of that mesh, and reusing the scratch against a
@@ -42,33 +51,56 @@ struct OpResult {
 struct OpScratch {
   std::vector<VertexId> locked;
   std::vector<CellId> cavity;
-  std::vector<CellId> outside;
   std::vector<CellId> bfs;
   struct BFace {
     CellId inside;
     int face;
     CellId outside;
+    int mirror;        ///< index of this face in `outside` (-1 on the hull);
+                       ///< recorded during the BFS while `outside` is pinned,
+                       ///< so commit skips the 12-compare face_index_of scan
     VertexId a, b, c;  ///< ordered so orient3d(a,b,c, interior point) > 0
   };
   std::vector<BFace> bfaces;
   std::vector<CellId> created;  ///< output of the last successful operation
-  struct EdgeSlot {
-    VertexId u, v;
+  struct GlueTarget {
     CellId cell;
     int face;
   };
-  std::vector<EdgeSlot> edgemap;  ///< open boundary edges during re-fill
+  /// Open cavity-boundary edges -> (new cell, face) during insertion re-fill.
+  GlueTable<std::uint64_t, GlueTarget> edge_glue;
+  /// Open faces -> (cell, face) during ball re-triangulation (removal).
+  GlueTable<std::array<VertexId, 3>, GlueTarget> face_glue;
+  /// Sorted boundary triple -> bface index during ball extraction (removal).
+  GlueTable<std::array<int, 3>, int> triple_index;
   CellFreeList freelist;
 
-  void reset() {
+  /// Epoch of the operation in flight; see Cell::mark.
+  std::uint64_t epoch = 0;
+
+  /// Starts a new operation: clears the per-op vectors and draws a fresh
+  /// globally unique epoch for the cavity marks.
+  void begin_op() {
     locked.clear();
     cavity.clear();
-    outside.clear();
     bfs.clear();
     bfaces.clear();
     created.clear();
-    edgemap.clear();
+    if (epoch_next_ == epoch_end_) {
+      constexpr std::uint64_t kBlock = std::uint64_t{1} << 16;
+      epoch_next_ = detail::acquire_epoch_block(kBlock);
+      epoch_end_ = epoch_next_ + kBlock;
+    }
+    epoch = epoch_next_++;
   }
+
+  /// Mark values for the current operation (Cell::mark low-bit scheme).
+  [[nodiscard]] std::uint64_t cavity_mark() const { return epoch << 1; }
+  [[nodiscard]] std::uint64_t outside_mark() const { return (epoch << 1) | 1; }
+
+ private:
+  std::uint64_t epoch_next_ = 0;
+  std::uint64_t epoch_end_ = 0;
 };
 
 struct LocateResult {

@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "delaunay/local_dt.hpp"
 #include "delaunay/operations.hpp"
@@ -33,9 +32,14 @@ void unlock_from(DelaunayMesh& mesh, int tid, OpScratch& s, std::size_t base) {
 
 bool lock_cell_vertices(DelaunayMesh& mesh, CellId c, int tid, OpScratch& s,
                         std::int32_t& held_by) {
-  const Cell& cl = mesh.cell(c);
+  Cell& cl = mesh.cell(c);
   for (int i = 0; i < 4; ++i) {
-    if (!lock_vertex(mesh, cl.v[i], tid, s, held_by)) return false;
+    // Acquire atomic_ref read: `c` is not locked yet, so a concurrent commit
+    // may be rewriting this (recycled) slot. Callers re-check liveness and
+    // containment after all four locks are held.
+    const VertexId vi =
+        std::atomic_ref(cl.v[i]).load(std::memory_order_acquire);
+    if (!lock_vertex(mesh, vi, tid, s, held_by)) return false;
   }
   return true;
 }
@@ -48,7 +52,7 @@ bool cell_has_vertex(const Cell& c, VertexId v) {
 
 OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
                        OpScratch& s) {
-  s.reset();
+  s.begin_op();
   OpResult res;
 
   std::int32_t held_by = -1;
@@ -101,8 +105,11 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
   }
 
   // --- gather the ball B(pv), locking every touched vertex ---
+  // Ball membership is O(1) via the epoch-stamped cell marks (see
+  // Cell::mark); every stamped cell is vertex-locked by this thread.
+  const std::uint64_t in_ball = s.cavity_mark();
   s.cavity.push_back(c0);  // cavity doubles as the ball container here
-
+  mesh.cell(c0).mark.store(in_ball, std::memory_order_relaxed);
   s.bfs.push_back(c0);
   while (!s.bfs.empty()) {
     const CellId c = s.bfs.back();
@@ -115,10 +122,20 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
     PI2M_CHECK(ip >= 0, "ball cell lost the removed vertex");
     for (int i = 0; i < 4; ++i) {
       if (i == ip) {
-        // The face opposite pv is a boundary face of the ball.
-        s.bfaces.push_back({c, i, cl.n[i].load(std::memory_order_acquire),
-                            cl.v[kFaceOf[i][0]], cl.v[kFaceOf[i][1]],
-                            cl.v[kFaceOf[i][2]]});
+        // The face opposite pv is a boundary face of the ball. Its outside
+        // neighbour can never itself contain pv (two cells with the same
+        // vertex set would coincide), so it survives the commit; record the
+        // mirror face index now while its adjacency is pinned by our locks.
+        const CellId out = cl.n[i].load(std::memory_order_acquire);
+        int mirror = -1;
+        if (out != kNoCell) {
+          const Cell& ol = mesh.cell(out);
+          for (int j = 0; j < 4; ++j) {
+            if (ol.n[j].load(std::memory_order_relaxed) == c) mirror = j;
+          }
+        }
+        s.bfaces.push_back({c, i, out, mirror, cl.v[kFaceOf[i][0]],
+                            cl.v[kFaceOf[i][1]], cl.v[kFaceOf[i][2]]});
         continue;
       }
       const CellId nb = cl.n[i].load(std::memory_order_acquire);
@@ -129,7 +146,7 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
         res.status = OpStatus::Failed;
         return res;
       }
-      if (std::find(s.cavity.begin(), s.cavity.end(), nb) != s.cavity.end())
+      if (mesh.cell(nb).mark.load(std::memory_order_relaxed) == in_ball)
         continue;
       if (!lock_cell_vertices(mesh, nb, tid, s, held_by)) {
         unlock_all(mesh, tid, s);
@@ -140,7 +157,7 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
       PI2M_CHECK(mesh.cell_alive(nb) && cell_has_vertex(mesh.cell(nb), pv),
                  "ball neighbour inconsistent (locking protocol bug)");
       s.cavity.push_back(nb);
-
+      mesh.cell(nb).mark.store(in_ball, std::memory_order_relaxed);
       s.bfs.push_back(nb);
     }
   }
@@ -161,13 +178,20 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
 
   std::vector<Vec3> pts;
   pts.reserve(link.size());
-  std::vector<int> local_of_global;  // parallel to `link`
   for (const VertexId v : link) pts.push_back(mesh.vertex(v).pos);
+  // Global id -> local DT index, O(log n) per lookup (`link` itself is
+  // timestamp-ordered, so a parallel id-sorted view is needed).
+  std::vector<std::pair<VertexId, int>> local_of_global(link.size());
+  for (std::size_t i = 0; i < link.size(); ++i) {
+    local_of_global[i] = {link[i], 4 + static_cast<int>(i)};
+  }
+  std::sort(local_of_global.begin(), local_of_global.end());
   auto local_index = [&](VertexId v) {
-    const auto it = std::find(link.begin(), link.end(), v);
-    return 4 + static_cast<int>(it - link.begin());
+    const auto it = std::lower_bound(local_of_global.begin(),
+                                     local_of_global.end(),
+                                     std::make_pair(v, 0));
+    return it->second;
   };
-  (void)local_of_global;
 
   static thread_local LocalDelaunay dt;
   dt.rebuild(pts);
@@ -178,13 +202,13 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
   }
 
   // --- select the local tets that tile the ball cavity ---
-  std::map<std::array<int, 3>, int> boundary_triples;  // sorted triple -> bface idx
+  s.triple_index.begin(s.bfaces.size());  // sorted triple -> bface idx
   for (std::size_t bi = 0; bi < s.bfaces.size(); ++bi) {
     std::array<int, 3> key{local_index(s.bfaces[bi].a),
                            local_index(s.bfaces[bi].b),
                            local_index(s.bfaces[bi].c)};
     std::sort(key.begin(), key.end());
-    if (!boundary_triples.emplace(key, static_cast<int>(bi)).second) {
+    if (s.triple_index.find_or_insert(key, static_cast<int>(bi)) != nullptr) {
       // Two ball cells share the same opposite face: degenerate ball.
       unlock_all(mesh, tid, s);
       res.status = OpStatus::Failed;
@@ -222,7 +246,7 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
       std::array<int, 3> key{t.v[kFaceOf[f][0]], t.v[kFaceOf[f][1]],
                              t.v[kFaceOf[f][2]]};
       std::sort(key.begin(), key.end());
-      if (boundary_triples.count(key) != 0) {
+      if (s.triple_index.find(key) != nullptr) {
         ++walls;
         continue;
       }
@@ -264,14 +288,24 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
   }
 
   // --- commit ---
-  std::map<std::array<VertexId, 3>, std::pair<CellId, int>> open_faces;
+  // Hashed face pairing: interior faces match exactly twice across the new
+  // cells; the unmatched remainder is exactly the ball boundary.
+  std::size_t n_new = 0;
+  for (std::size_t ti = 0; ti < dt.tets().size(); ++ti) {
+    if (inside[ti]) ++n_new;
+  }
+  s.face_glue.begin(4 * n_new);
   for (std::size_t ti = 0; ti < dt.tets().size(); ++ti) {
     if (!inside[ti]) continue;
     const LocalDelaunay::Tet& t = dt.tets()[ti];
     const CellId nc = mesh.allocate_cell(s.freelist);
     Cell& cl = mesh.cell(nc);
     for (int k = 0; k < 4; ++k) {
-      cl.v[k] = link[static_cast<std::size_t>(t.v[k] - 4)];
+      // Release store: the unlocked locate walk reads v through acquire
+      // atomic_refs (see locate.cpp), and the release pairs its reads with
+      // the vertex-lock chain that ordered the vertices' position writes.
+      std::atomic_ref(cl.v[k]).store(link[static_cast<std::size_t>(t.v[k] - 4)],
+                                     std::memory_order_release);
     }
     for (int k = 0; k < 4; ++k) {
       cl.n[k].store(kNoCell, std::memory_order_relaxed);
@@ -282,15 +316,13 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
       std::array<VertexId, 3> key{cl.v[kFaceOf[f][0]], cl.v[kFaceOf[f][1]],
                                   cl.v[kFaceOf[f][2]]};
       std::sort(key.begin(), key.end());
-      auto it = open_faces.find(key);
-      if (it == open_faces.end()) {
-        open_faces.emplace(key, std::make_pair(nc, f));
-      } else {
-        cl.n[f].store(it->second.first, std::memory_order_release);
-        mesh.cell(it->second.first)
-            .n[it->second.second]
+      auto* slot = s.face_glue.find_or_insert(key, {nc, f});
+      if (slot != nullptr) {
+        cl.n[f].store(slot->value.cell, std::memory_order_release);
+        mesh.cell(slot->value.cell)
+            .n[slot->value.face]
             .store(nc, std::memory_order_release);
-        open_faces.erase(it);
+        s.face_glue.consume(slot);
       }
     }
   }
@@ -299,19 +331,19 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
   for (const OpScratch::BFace& bf : s.bfaces) {
     std::array<VertexId, 3> key{bf.a, bf.b, bf.c};
     std::sort(key.begin(), key.end());
-    const auto it = open_faces.find(key);
-    PI2M_CHECK(it != open_faces.end(),
+    auto* slot = s.face_glue.find(key);
+    PI2M_CHECK(slot != nullptr,
                "ball boundary face missing after re-triangulation");
-    const auto [nc, f] = it->second;
+    const auto [nc, f] = slot->value;
     mesh.cell(nc).n[f].store(bf.outside, std::memory_order_release);
     if (bf.outside != kNoCell) {
-      const int j = mesh.face_index_of(bf.outside, bf.a, bf.b, bf.c);
-      PI2M_CHECK(j >= 0, "outside cell lost the shared ball face");
-      mesh.cell(bf.outside).n[j].store(nc, std::memory_order_release);
+      PI2M_CHECK(bf.mirror >= 0, "outside cell lost the shared ball face");
+      mesh.cell(bf.outside).n[bf.mirror].store(nc, std::memory_order_release);
     }
-    open_faces.erase(it);
+    s.face_glue.consume(slot);
   }
-  PI2M_CHECK(open_faces.empty(), "unmatched faces after ball re-triangulation");
+  PI2M_CHECK(s.face_glue.live() == 0,
+             "unmatched faces after ball re-triangulation");
 
   for (const CellId c : s.cavity) mesh.retire_cell(c, s.freelist);
   vp.dead.store(true, std::memory_order_release);

@@ -35,13 +35,29 @@ int orient3d(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
 int insphere(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
              const Vec3& e);
 
-/// Counters for filter effectiveness (benchmarked in bench_micro). These are
-/// process-wide, updated with relaxed atomics, and intended for reporting
-/// only.
+/// Reference full-exact evaluations (the final stage of the adaptive
+/// ladder), exposed for the staged-predicate agreement tests. Never call
+/// these on the hot path; orient3d/insphere reach them on their own when
+/// the filters cannot certify a sign.
+int orient3d_exact(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d);
+int insphere_exact(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d,
+                   const Vec3& e);
+
+/// Counters for filter-ladder effectiveness (benchmarked in bench_micro,
+/// asserted by the degeneracy-torture tests):
+///   *_calls  every invocation;
+///   *_adapt  calls the stage-A static filter could not certify (they entered
+///            the adaptive stage B/C ladder);
+///   *_exact  calls that fell through every filter to the full exact
+///            evaluation (stage D).
+/// Counts are kept in padded per-thread slots (no shared cache line is
+/// written on the call path) and summed on read; reporting only.
 struct PredicateCounters {
   unsigned long long orient3d_calls;
+  unsigned long long orient3d_adapt;
   unsigned long long orient3d_exact;
   unsigned long long insphere_calls;
+  unsigned long long insphere_adapt;
   unsigned long long insphere_exact;
 };
 PredicateCounters predicate_counters();

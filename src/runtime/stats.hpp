@@ -20,6 +20,11 @@ inline double now_sec() {
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 
+/// Contention audit: every counter here is written by exactly one worker
+/// thread (its own slot in the `std::vector<ThreadStats>`); the atomics exist
+/// only so the sampler can read them concurrently. alignas(64) keeps each
+/// slot on its own cache lines, so no two threads ever write the same line —
+/// the same discipline as the predicate counters (see predicates.cpp).
 struct alignas(64) ThreadStats {
   std::atomic<std::uint64_t> operations{0};
   std::atomic<std::uint64_t> insertions{0};

@@ -273,6 +273,16 @@ TEST(LocalDelaunay, DuplicatePointFails) {
 
 // --- concurrent insertion stress ---------------------------------------
 
+// Sanitizer instrumentation deschedules threads for long stretches while they
+// hold vertex locks, so speculative operations abort with Conflict far more
+// often than in a plain build. Progress floors shrink accordingly; the
+// integrity / volume / lock-leak invariants stay at full strength.
+#ifdef PI2M_UNDER_SANITIZER
+constexpr int kProgressDiv = 10;
+#else
+constexpr int kProgressDiv = 1;
+#endif
+
 TEST(ConcurrentInsert, ParallelThreadsKeepInvariants) {
   DelaunayMesh mesh(unit_box(), 1 << 16, 1 << 19);
   constexpr int kThreads = 4;
@@ -302,7 +312,7 @@ TEST(ConcurrentInsert, ParallelThreadsKeepInvariants) {
   }
   for (auto& th : pool) th.join();
 
-  EXPECT_GT(successes.load(), kThreads * kPerThread / 2);
+  EXPECT_GT(successes.load(), kThreads * kPerThread / 2 / kProgressDiv);
   EXPECT_EQ(mesh.check_integrity(true), "");
   EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
   for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
@@ -343,8 +353,8 @@ TEST(ConcurrentMixed, InsertAndRemoveRace) {
   }
   for (auto& th : pool) th.join();
 
-  EXPECT_GT(ins.load(), 300);
-  EXPECT_GT(rem.load(), 20);
+  EXPECT_GT(ins.load(), 300 / kProgressDiv);
+  EXPECT_GT(rem.load(), 20 / kProgressDiv);
   EXPECT_EQ(mesh.check_integrity(true), "");
   EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
 }

@@ -16,6 +16,16 @@
 namespace pi2m {
 namespace {
 
+// Sanitizer instrumentation deschedules threads for long stretches while they
+// hold vertex locks, so speculative operations abort with Conflict far more
+// often than in a plain build. Progress floors shrink accordingly; the
+// integrity / volume / lock-leak invariants stay at full strength.
+#ifdef PI2M_UNDER_SANITIZER
+constexpr std::uint64_t kProgressDiv = 10;
+#else
+constexpr std::uint64_t kProgressDiv = 1;
+#endif
+
 TEST(Torture, SixteenThreadsMixedOpsOnKernel) {
   DelaunayMesh mesh({{0, 0, 0}, {1, 1, 1}}, 1 << 17, 1 << 20);
   constexpr int kThreads = 16;
@@ -56,8 +66,8 @@ TEST(Torture, SixteenThreadsMixedOpsOnKernel) {
   }
   for (auto& th : pool) th.join();
 
-  EXPECT_GT(inserts.load(), 3000u);
-  EXPECT_GT(removes.load(), 500u);
+  EXPECT_GT(inserts.load(), 3000u / kProgressDiv);
+  EXPECT_GT(removes.load(), 500u / kProgressDiv);
   EXPECT_EQ(mesh.check_integrity(/*check_delaunay=*/true), "");
   EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-9);
   for (VertexId v = 0; v < mesh.vertex_count(); ++v) {

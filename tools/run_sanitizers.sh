@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the `sanitize`-labelled tests under ThreadSanitizer and/or
+# AddressSanitizer+UBSan, each in its own build tree (sanitized objects must
+# never mix with plain ones).
+#
+# Usage: tools/run_sanitizers.sh [thread|address|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+which="${1:-all}"
+
+run_one() {
+  local kind="$1"
+  local dir="build-${kind%%,*}san"
+  case "$kind" in
+    thread)  dir=build-tsan ;;
+    address) dir=build-asan ;;
+    *) echo "unknown sanitizer '$kind'" >&2; exit 2 ;;
+  esac
+  echo "=== ${kind} sanitizer -> ${dir} ==="
+  cmake -B "$dir" -S . -DPI2M_SANITIZE="$kind" >/dev/null
+  cmake --build "$dir" -j "$(nproc)" --target \
+    delaunay_test runtime_test torture_test property_test staged_predicates_test
+  # halt_on_error: fail the test run on the first report instead of racing on.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir "$dir" -L sanitize --output-on-failure
+}
+
+case "$which" in
+  thread|address) run_one "$which" ;;
+  all) run_one thread; run_one address ;;
+  *) echo "usage: $0 [thread|address|all]" >&2; exit 2 ;;
+esac
+echo "sanitizer runs clean"
