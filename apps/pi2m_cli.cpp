@@ -25,6 +25,9 @@
 #include "io/writers.hpp"
 #include "metrics/hausdorff.hpp"
 #include "metrics/quality.hpp"
+#include "telemetry/collectors.hpp"
+#include "telemetry/run_manifest.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -54,7 +57,15 @@ void usage() {
       "  --save-image FILE.mha   write the (phantom) input image\n"
       "  --report                print quality + fidelity report\n"
       "  --validate              run structural mesh validation\n"
-      "  --stats                 print parallel runtime statistics\n");
+      "  --stats                 print parallel runtime statistics\n"
+      "\n"
+      "telemetry:\n"
+      "  --trace FILE.json       record a Chrome trace-event timeline of the\n"
+      "                          run (open in chrome://tracing or Perfetto)\n"
+      "  --json-report FILE      write a versioned JSON run manifest (config,\n"
+      "                          phase timings, all metrics)\n"
+      "  --metrics               print every collected metric, one\n"
+      "                          'name value' per line\n");
 }
 
 struct Args {
@@ -76,6 +87,9 @@ struct Args {
   bool report = false;
   bool stats = false;
   bool validate = false;
+  std::string trace;
+  std::string json_report;
+  bool metrics = false;
 };
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -128,6 +142,12 @@ std::optional<Args> parse(int argc, char** argv) {
       a.validate = true;
     } else if (key == "--stats") {
       a.stats = true;
+    } else if (key == "--trace") {
+      a.trace = next();
+    } else if (key == "--json-report") {
+      a.json_report = next();
+    } else if (key == "--metrics") {
+      a.metrics = true;
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", key.c_str());
       return std::nullopt;
@@ -231,10 +251,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Open the tracing session before meshing so the EDT (computed in the
+  // Refiner constructor) lands on the timeline too.
+  if (!args->trace.empty()) {
+    pi2m::telemetry::begin();
+    pi2m::telemetry::set_thread_name("main");
+  }
+  auto finish_trace = [&]() {
+    if (args->trace.empty()) return true;
+    pi2m::telemetry::end();
+    const std::uint64_t dropped = pi2m::telemetry::dropped_events();
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "trace: %llu event(s) dropped (ring overflow); oldest "
+                   "events are missing\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+    if (!pi2m::telemetry::write_chrome_trace(args->trace)) {
+      std::fprintf(stderr, "failed to write %s\n", args->trace.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu trace events)\n", args->trace.c_str(),
+                pi2m::telemetry::event_count());
+    return true;
+  };
+
   pi2m::MeshingResult res = pi2m::mesh_image(img, opt);
   if (!res.ok()) {
     std::fprintf(stderr, "meshing did not complete (livelock=%d, budget=%d)\n",
                  res.outcome.livelocked, res.outcome.budget_exhausted);
+    finish_trace();  // a partial timeline is exactly what diagnoses this
     return 1;
   }
   std::printf("mesh: %zu tetrahedra, %zu points, %zu interface triangles\n",
@@ -246,40 +292,60 @@ int main(int argc, char** argv) {
 
   // --- optional smoothing ---
   const pi2m::IsosurfaceOracle oracle(img, args->threads);
+  std::optional<pi2m::SmoothingReport> srep;
+  double smooth_sec = 0.0;
   if (args->smooth > 0) {
     pi2m::SmoothingOptions sopt;
     sopt.iterations = args->smooth;
     sopt.threads = args->threads;
-    const pi2m::SmoothingReport srep =
-        pi2m::smooth_mesh(res.mesh, oracle, sopt);
+    const double t0 = pi2m::now_sec();
+    srep = pi2m::smooth_mesh(res.mesh, oracle, sopt);
+    smooth_sec = pi2m::now_sec() - t0;
     std::printf("smoothing: %zu moves (%zu rejected), min dihedral %.2f -> "
                 "%.2f deg\n",
-                srep.moves_accepted, srep.moves_rejected,
-                srep.min_dihedral_before, srep.min_dihedral_after);
+                srep->moves_accepted, srep->moves_rejected,
+                srep->min_dihedral_before, srep->min_dihedral_after);
   }
 
+  // All traced phases are over; flush the timeline.
+  if (!finish_trace()) return 1;
+
   // --- reports ---
+  // The manifest / --metrics snapshot always carries the quality, fidelity
+  // and validation numbers, so compute them whenever any consumer asks.
+  const bool want_registry = !args->json_report.empty() || args->metrics;
+  std::optional<pi2m::QualityReport> quality;
+  std::optional<pi2m::HausdorffResult> hdist;
+  std::optional<pi2m::MeshValidation> validation;
+  if (args->report || want_registry) {
+    quality = pi2m::evaluate_quality(res.mesh);
+    hdist = pi2m::hausdorff_distance(res.mesh, oracle, 2);
+  }
+  if (args->validate || want_registry) {
+    validation = pi2m::validate_mesh(res.mesh);
+  }
+
   if (args->report) {
-    const pi2m::QualityReport q = pi2m::evaluate_quality(res.mesh);
     std::printf("quality: max radius-edge %.2f, dihedral [%.1f, %.1f] deg, "
                 "min boundary angle %.1f deg\n",
-                q.max_radius_edge, q.min_dihedral_deg, q.max_dihedral_deg,
-                q.min_boundary_planar_deg);
-    const pi2m::HausdorffResult h =
-        pi2m::hausdorff_distance(res.mesh, oracle, 2);
+                quality->max_radius_edge, quality->min_dihedral_deg,
+                quality->max_dihedral_deg, quality->min_boundary_planar_deg);
     std::printf("fidelity: Hausdorff %.2f (mesh->surf %.2f, surf->mesh %.2f)\n",
-                h.symmetric(), h.mesh_to_surface, h.surface_to_mesh);
+                hdist->symmetric(), hdist->mesh_to_surface,
+                hdist->surface_to_mesh);
   }
+  bool validation_failed = false;
   if (args->validate) {
-    const pi2m::MeshValidation v = pi2m::validate_mesh(res.mesh);
-    if (v.ok) {
+    if (validation->ok) {
       std::printf("validation: OK (%zu connected component(s), %zu "
                   "non-manifold boundary edges)\n",
-                  v.connected_components, v.boundary_edges_nonmanifold);
+                  validation->connected_components,
+                  validation->boundary_edges_nonmanifold);
     } else {
       std::printf("validation: FAILED\n");
-      for (const auto& e : v.errors) std::printf("  - %s\n", e.c_str());
-      return 1;
+      for (const auto& e : validation->errors) std::printf("  - %s\n",
+                                                           e.c_str());
+      validation_failed = true;  // exit 1 after the manifest is written
     }
   }
   if (args->stats) {
@@ -304,6 +370,69 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.outcome.rule_counts[4]),
                 static_cast<unsigned long long>(res.outcome.rule_counts[5]));
   }
+
+  // --- unified metrics / manifest ---
+  if (want_registry) {
+    pi2m::telemetry::MetricsRegistry reg;
+    pi2m::telemetry::collect_outcome(reg, res.outcome);
+    pi2m::telemetry::collect_predicates(reg, pi2m::predicate_counters());
+    pi2m::telemetry::collect_mesh(reg, res.mesh);
+    if (srep) pi2m::telemetry::collect_smoothing(reg, *srep);
+    if (quality) pi2m::telemetry::collect_quality(reg, *quality);
+    if (hdist) pi2m::telemetry::collect_hausdorff(reg, *hdist);
+    if (validation) pi2m::telemetry::collect_validation(reg, *validation);
+
+    if (args->metrics) {
+      for (const auto& [name, m] : reg.all()) {
+        switch (m.kind) {
+          case pi2m::telemetry::MetricValue::Kind::U64:
+            std::printf("%s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(m.u));
+            break;
+          case pi2m::telemetry::MetricValue::Kind::F64:
+            std::printf("%s %.9g\n", name.c_str(), m.d);
+            break;
+          case pi2m::telemetry::MetricValue::Kind::Bool:
+            std::printf("%s %s\n", name.c_str(), m.b ? "true" : "false");
+            break;
+        }
+      }
+    }
+
+    if (!args->json_report.empty()) {
+      pi2m::telemetry::RunManifest man;
+      man.tool = "pi2m_cli";
+      man.set_config("input", args->input.empty()
+                                  ? "phantom:" + args->phantom
+                                  : args->input);
+      if (args->input.empty()) man.set_config("size", args->size);
+      if (args->downsample_factor > 1)
+        man.set_config("downsample", args->downsample_factor);
+      if (args->crop_pad >= 0) man.set_config("crop_foreground", args->crop_pad);
+      man.set_config("delta", args->delta);
+      man.set_config("rho", args->rho);
+      man.set_config("facet_angle", args->facet_angle);
+      if (args->uniform_size > 0)
+        man.set_config("uniform_size", args->uniform_size);
+      man.set_config("threads", args->threads);
+      man.set_config("cm", args->cm);
+      man.set_config("lb", args->lb);
+      man.set_config("smooth", args->smooth);
+      man.add_phase("edt", res.outcome.edt_sec);
+      man.add_phase("refine", res.outcome.wall_sec);
+      if (args->smooth > 0) man.add_phase("smooth", smooth_sec);
+      man.metrics = reg;
+      if (!man.write(args->json_report)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     args->json_report.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", args->json_report.c_str());
+    }
+  }
+  // An explicitly requested validation failure trumps success output, but
+  // only after every report artifact has been written.
+  if (validation_failed) return 1;
 
   // --- outputs ---
   for (const std::string& out : args->outs) {

@@ -7,9 +7,10 @@
 //   3. Virtual topology granularity under HWS — how socket size changes
 //      steal locality.
 //
-//   ./bench_ablation [grid_size=44] [delta=1.2] [threads=8]
+//   ./bench_ablation [grid_size=44] [delta=1.2] [threads=8] [manifest.json]
 #include "bench_common.hpp"
 #include "metrics/quality.hpp"
+#include "telemetry/run_manifest.hpp"
 
 using namespace pi2m;
 
@@ -34,6 +35,8 @@ int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 44;
   const double delta = argc > 2 ? std::atof(argv[2]) : 1.2;
   const int threads = argc > 3 ? std::atoi(argv[3]) : 8;
+  const std::string manifest_path = argc > 4 ? argv[4] : "";
+  telemetry::MetricsRegistry reg;
 
   std::printf("== Ablation studies ==\n");
   const LabeledImage3D img = phantom::abdominal(n, n, n);
@@ -48,6 +51,12 @@ int main(int argc, char** argv) {
       t.add_row({io::fmt_double(rf, 1), io::fmt_int(out.mesh_cells),
                  io::fmt_int(out.totals.removals),
                  io::fmt_double(out.wall_sec, 2), io::fmt_int(out.vertices)});
+      const std::string p =
+          "ablation.removal_factor_" + io::fmt_double(rf, 1) + ".";
+      reg.set(p + "mesh_cells", out.mesh_cells);
+      reg.set(p + "removals", out.totals.removals);
+      reg.set(p + "wall_sec", out.wall_sec);
+      reg.set(p + "vertices", out.vertices);
     }
     t.print();
     std::printf("(factor 0 disables R6 entirely; 2.0 is the paper's rule)\n");
@@ -63,6 +72,12 @@ int main(int argc, char** argv) {
                  io::fmt_double(out.totals.loadbalance_sec, 2),
                  io::fmt_int(out.totals.total_steals()),
                  io::fmt_int(out.totals.rollbacks)});
+      const std::string p =
+          "ablation.give_threshold_" + std::to_string(thr) + ".";
+      reg.set(p + "wall_sec", out.wall_sec);
+      reg.set(p + "loadbalance_sec", out.totals.loadbalance_sec);
+      reg.set(p + "steals", out.totals.total_steals());
+      reg.set(p + "rollbacks", out.totals.rollbacks);
     }
     t.print();
     std::printf("(the paper uses 5)\n");
@@ -83,8 +98,29 @@ int main(int argc, char** argv) {
                  io::fmt_int(out.totals.steals_intra_blade),
                  io::fmt_int(out.totals.steals_inter_blade),
                  io::fmt_double(out.wall_sec, 2)});
+      const std::string p = "ablation.topology_" +
+                            std::to_string(ts.cores_per_socket) + "x" +
+                            std::to_string(ts.sockets_per_blade) + ".";
+      reg.set(p + "steals_intra_socket", out.totals.steals_intra_socket);
+      reg.set(p + "steals_intra_blade", out.totals.steals_intra_blade);
+      reg.set(p + "steals_inter_blade", out.totals.steals_inter_blade);
+      reg.set(p + "wall_sec", out.wall_sec);
     }
     t.print();
+  }
+
+  if (!manifest_path.empty()) {
+    telemetry::RunManifest man;
+    man.tool = "bench_ablation";
+    man.set_config("grid_size", n);
+    man.set_config("delta", delta);
+    man.set_config("threads", threads);
+    man.metrics = reg;
+    if (!man.write(manifest_path)) {
+      std::fprintf(stderr, "failed to write %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", manifest_path.c_str());
   }
   return 0;
 }

@@ -4,7 +4,10 @@
 // throughput, spatial grid operations, and vertex removal.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "core/spatial_grid.hpp"
 #include "delaunay/local_dt.hpp"
@@ -14,6 +17,7 @@
 #include "imaging/isosurface.hpp"
 #include "imaging/phantom.hpp"
 #include "predicates/predicates.hpp"
+#include "telemetry/run_manifest.hpp"
 
 namespace {
 
@@ -189,6 +193,64 @@ void BM_LocalDelaunayBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalDelaunayBuild)->Arg(16)->Arg(32)->Arg(64);
 
+/// Console reporting plus a MetricsRegistry capture of every benchmark's
+/// per-iteration CPU time, for the --manifest run-manifest output.
+class ManifestReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit ManifestReporter(telemetry::MetricsRegistry* reg) : reg_(reg) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.iterations <= 0) continue;
+      const double ns_per_iter =
+          r.cpu_accumulated_time / static_cast<double>(r.iterations) * 1e9;
+      reg_->set("bench." + r.benchmark_name() + ".cpu_ns_per_iter",
+                ns_per_iter);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  telemetry::MetricsRegistry* reg_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so `--manifest PATH` /
+// `--manifest=PATH` can be stripped before google-benchmark parses the
+// command line, and the captured timings written as a pi2m run manifest.
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::vector<char*> pass;
+  pass.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (a.rfind("--manifest=", 0) == 0) {
+      manifest_path = a.substr(std::string("--manifest=").size());
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(pass.size());
+  benchmark::Initialize(&pass_argc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, pass.data())) return 1;
+
+  pi2m::telemetry::MetricsRegistry reg;
+  ManifestReporter reporter(&reg);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!manifest_path.empty()) {
+    pi2m::telemetry::RunManifest man;
+    man.tool = "bench_micro";
+    man.metrics = reg;
+    if (!man.write(manifest_path)) {
+      std::fprintf(stderr, "failed to write %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", manifest_path.c_str());
+  }
+  return 0;
+}

@@ -4,11 +4,13 @@
 
 #include "geometry/tetra.hpp"
 #include "support/parallel_for.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 
 TetMesh extract_mesh(const DelaunayMesh& mesh, const IsosurfaceOracle& oracle,
                      int threads) {
+  PI2M_TRACE_SPAN("phase.extract", "phase");
   const std::uint32_t slots = mesh.cell_slot_count();
 
   // Pass 1 (parallel): label of each kept cell, 0 = dropped.

@@ -4,6 +4,7 @@
 
 #include "geometry/tetra.hpp"
 #include "support/parallel_for.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -23,9 +24,12 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
   PI2M_CHECK(opt_.rules.delta > 0.0, "RefineRulesConfig::delta must be set");
 
   const double t0 = now_sec();
-  const int edt_threads =
-      opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
-  oracle_ = std::make_unique<IsosurfaceOracle>(img, edt_threads);
+  {
+    PI2M_TRACE_SPAN("phase.edt", "phase");
+    const int edt_threads =
+        opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
+    oracle_ = std::make_unique<IsosurfaceOracle>(img, edt_threads);
+  }
   edt_sec_ = now_sec() - t0;
 
   const Aabb ib = img.bounds();
@@ -107,6 +111,20 @@ void Refiner::distribute_new_cells(int tid, const std::vector<CellId>& created) 
           st.steals_inter_blade.fetch_add(1, std::memory_order_relaxed);
           break;
       }
+      switch (level) {
+        case StealLevel::IntraSocket:
+          telemetry::instant("steal.intra_socket", "lb", "to",
+                             static_cast<std::uint64_t>(beggar));
+          break;
+        case StealLevel::IntraBlade:
+          telemetry::instant("steal.intra_blade", "lb", "to",
+                             static_cast<std::uint64_t>(beggar));
+          break;
+        case StealLevel::InterBlade:
+          telemetry::instant("steal.inter_blade", "lb", "to",
+                             static_cast<std::uint64_t>(beggar));
+          break;
+      }
       ThreadCtx& bctx = *ctxs_[beggar];
       {
         std::lock_guard<std::mutex> lk(bctx.inbox_mutex);
@@ -130,8 +148,12 @@ void Refiner::handle_insertion(int tid, const PelEntry& e) {
   ThreadStats& st = stats_[tid];
 
   if (mesh_->cell_gen(e.cell) != e.gen) return;  // invalidated entry
+  // One span covers classification + the speculative operation; rule 0
+  // marks entries that classified clean (no operation attempted).
+  telemetry::Span op_span("op.insert", "op");
   const Classification cls =
       classify_cell(*mesh_, e.cell, *oracle_, *iso_grid_, opt_.rules);
+  op_span.set_arg("rule", static_cast<std::uint64_t>(cls.rule));
   if (cls.rule == Rule::None) return;
 
   const double t0 = now_sec();
@@ -182,6 +204,9 @@ void Refiner::handle_insertion(int tid, const PelEntry& e) {
     case OpStatus::Conflict:
       st.rollbacks.fetch_add(1, std::memory_order_relaxed);
       st.add_rollback_time(now_sec() - t0);
+      telemetry::instant(
+          "rollback", "op", "by",
+          static_cast<std::uint64_t>(std::max(r.conflicting_thread, 0)));
       (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
       outstanding_.fetch_add(1, std::memory_order_acq_rel);
       cm_->on_rollback(tid, r.conflicting_thread, st);
@@ -208,6 +233,7 @@ void Refiner::handle_removal(int tid, VertexId v) {
   }
   const Vec3 pos = vert.pos;
 
+  telemetry::Span op_span("op.remove", "op");
   const double t0 = now_sec();
   const OpResult r = remove_vertex(*mesh_, v, tid, ctx.removal_scratch);
   switch (r.status) {
@@ -222,6 +248,9 @@ void Refiner::handle_removal(int tid, VertexId v) {
     case OpStatus::Conflict:
       st.rollbacks.fetch_add(1, std::memory_order_relaxed);
       st.add_rollback_time(now_sec() - t0);
+      telemetry::instant(
+          "rollback", "op", "by",
+          static_cast<std::uint64_t>(std::max(r.conflicting_thread, 0)));
       ctx.removals.push_back(v);
       outstanding_.fetch_add(1, std::memory_order_acq_rel);
       cm_->on_rollback(tid, r.conflicting_thread, st);
@@ -248,6 +277,7 @@ void Refiner::idle_protocol(int tid) {
   // contention list: rescue one first (see contention.hpp).
   cm_->wake_one();
 
+  telemetry::Span idle_span("idle", "lb");
   const double t0 = now_sec();
   idle_count_.fetch_add(1, std::memory_order_acq_rel);
   lb_->enqueue_beggar(tid);
@@ -278,6 +308,7 @@ void Refiner::idle_protocol(int tid) {
 }
 
 void Refiner::worker(int tid) {
+  telemetry::set_thread_name("worker " + std::to_string(tid));
   ThreadCtx& ctx = *ctxs_[tid];
   while (!done_.load(std::memory_order_acquire)) {
     if (successful_ops_.load(std::memory_order_relaxed) >= opt_.op_budget) {
@@ -357,14 +388,18 @@ RefineOutcome Refiner::refine() {
   }
 
   start_sec_ = now_sec();
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(opt_.threads));
-  for (int t = 0; t < opt_.threads; ++t) {
-    pool.emplace_back([this, t] { worker(t); });
+  double wall = 0.0;
+  {
+    PI2M_TRACE_SPAN("phase.refine", "phase");
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(opt_.threads));
+    for (int t = 0; t < opt_.threads; ++t) {
+      pool.emplace_back([this, t] { worker(t); });
+    }
+    monitor();
+    for (std::thread& th : pool) th.join();
+    wall = now_sec() - start_sec_;
   }
-  monitor();
-  for (std::thread& th : pool) th.join();
-  const double wall = now_sec() - start_sec_;
 
   RefineOutcome out;
   out.completed = !livelocked_.load() && !budget_exhausted_.load();

@@ -5,6 +5,7 @@
 
 #include "geometry/tetra.hpp"
 #include "support/parallel_for.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -98,6 +99,7 @@ SmoothingReport smooth_mesh(TetMesh& mesh, const IsosurfaceOracle& oracle,
                             const SmoothingOptions& opt) {
   SmoothingReport rep;
   if (mesh.tets.empty()) return rep;
+  PI2M_TRACE_SPAN("phase.smooth", "phase");
   const VertexTopology topo = build_topology(mesh);
   rep.min_dihedral_before = global_min_dihedral(mesh);
 

@@ -1,5 +1,6 @@
 #include "delaunay/operations.hpp"
 #include "predicates/predicates.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -86,6 +87,9 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
       }
       std::int32_t held_by = -1;
       if (!lock_cell_vertices(mesh, nb, tid, s, held_by)) {
+        // The work discarded here (grown cavity) is invisible to the
+        // refiner's rollback accounting; expose its size on the timeline.
+        telemetry::instant("bw.abort", "op", "cavity", s.cavity.size());
         unlock_all(mesh, tid, s);
         res.status = OpStatus::Conflict;
         res.conflicting_thread = held_by;
@@ -116,6 +120,8 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
   }
 
   // --- commit ---
+  telemetry::Span commit_span("bw.commit", "op");
+  commit_span.set_arg("cells", s.bfaces.size());
   const VertexId pv = mesh.create_vertex(p, kind, tid);  // born locked
   s.locked.push_back(pv);
 

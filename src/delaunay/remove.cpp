@@ -5,6 +5,7 @@
 #include "delaunay/operations.hpp"
 #include "geometry/tetra.hpp"
 #include "predicates/predicates.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -149,6 +150,8 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
       if (mesh.cell(nb).mark.load(std::memory_order_relaxed) == in_ball)
         continue;
       if (!lock_cell_vertices(mesh, nb, tid, s, held_by)) {
+        // Partially-gathered ball discarded: expose its size (see insert.cpp).
+        telemetry::instant("bw.abort", "op", "cavity", s.cavity.size());
         unlock_all(mesh, tid, s);
         res.status = OpStatus::Conflict;
         res.conflicting_thread = held_by;
@@ -290,6 +293,8 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
   // --- commit ---
   // Hashed face pairing: interior faces match exactly twice across the new
   // cells; the unmatched remainder is exactly the ball boundary.
+  telemetry::Span commit_span("bw.commit", "op");
+  commit_span.set_arg("cells", s.cavity.size());
   std::size_t n_new = 0;
   for (std::size_t ti = 0; ti < dt.tets().size(); ++ti) {
     if (inside[ti]) ++n_new;

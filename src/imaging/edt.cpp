@@ -5,6 +5,7 @@
 
 #include "support/common.hpp"
 #include "support/parallel_for.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -81,6 +82,7 @@ FeatureTransform FeatureTransform::compute(const LabeledImage3D& img,
 
   // Pass 1 (x axis): per (y,z) row, nearest surface voxel along the row.
   // Two linear scans suffice in 1D.
+  telemetry::Span pass_x("edt.pass_x", "edt");
   parallel_blocks(static_cast<std::size_t>(ny) * nz, threads,
                   [&](std::size_t b, std::size_t e) {
     for (std::size_t row = b; row < e; ++row) {
@@ -105,6 +107,8 @@ FeatureTransform FeatureTransform::compute(const LabeledImage3D& img,
 
   // Pass 2 (y axis): combine row results across y with a lower envelope,
   // tracking the winning (fx, y') pair.
+  pass_x.close();
+  telemetry::Span pass_y("edt.pass_y", "edt");
   parallel_blocks(static_cast<std::size_t>(nx) * nz, threads,
                   [&](std::size_t b, std::size_t e) {
     std::vector<double> cost(static_cast<std::size_t>(ny));
@@ -136,6 +140,8 @@ FeatureTransform FeatureTransform::compute(const LabeledImage3D& img,
   });
 
   // Pass 3 (z axis): combine across z; winners carry full (fx, fy, z').
+  pass_y.close();
+  telemetry::Span pass_z("edt.pass_z", "edt");
   parallel_blocks(static_cast<std::size_t>(nx) * ny, threads,
                   [&](std::size_t b, std::size_t e) {
     std::vector<double> cost(static_cast<std::size_t>(nz));

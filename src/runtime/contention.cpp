@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "support/common.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -38,6 +39,7 @@ class RandomCm final : public ContentionManager {
     consecutive_[tid].v = 0;
     thread_local std::mt19937 rng(std::random_device{}());
     std::uniform_int_distribution<int> ms(1, r_plus_);
+    telemetry::Span cm_span("cm.backoff", "cm");
     const double t0 = now_sec();
     const double deadline = t0 + ms(rng) * 1e-3;
     while (now_sec() < deadline &&
@@ -79,6 +81,7 @@ class GlobalCm final : public ContentionManager {
       queue_.push_back(tid);
     }
     blocked_.fetch_add(1, std::memory_order_acq_rel);
+    telemetry::Span cm_span("cm.wait", "cm");
     const double t0 = now_sec();
     while (me.wait.load(std::memory_order_acquire) &&
            !ctx_.done->load(std::memory_order_acquire)) {
@@ -175,6 +178,8 @@ class LocalCm final : public ContentionManager {
       other.cl.push_back(tid);
     }
     blocked_.fetch_add(1, std::memory_order_acq_rel);
+    telemetry::Span cm_span("cm.wait", "cm");
+    cm_span.set_arg("on", static_cast<std::uint64_t>(conflicting));
     const double t0 = now_sec();
     while (me.busy_wait.load(std::memory_order_acquire) &&
            !ctx_.done->load(std::memory_order_acquire)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/common.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pi2m {
 namespace {
@@ -16,6 +17,7 @@ class RwsBalancer final : public LoadBalancer {
   explicit RwsBalancer(const Topology& topo) : LoadBalancer(topo) {}
 
   void enqueue_beggar(int tid) override {
+    telemetry::instant("lb.beg", "lb");
     std::lock_guard<std::mutex> lk(mutex_);
     list_.push_back(tid);
     count_.fetch_add(1, std::memory_order_release);
@@ -61,6 +63,7 @@ class HwsBalancer final : public LoadBalancer {
         bl2_(topo.num_blades()) {}
 
   void enqueue_beggar(int tid) override {
+    telemetry::instant("lb.beg", "lb");
     const int s = topo_.socket_of(tid);
     const int b = topo_.blade_of(tid);
     std::lock_guard<std::mutex> lk(mutex_);

@@ -1,0 +1,80 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include "telemetry/json_writer.hpp"
+
+namespace pi2m::telemetry {
+
+void MetricsRegistry::set_u64(std::string_view name, std::uint64_t v) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::U64;
+  m.u = v;
+  metrics_.insert_or_assign(std::string(name), m);
+}
+
+void MetricsRegistry::set(std::string_view name, double v) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::F64;
+  m.d = v;
+  metrics_.insert_or_assign(std::string(name), m);
+}
+
+void MetricsRegistry::set(std::string_view name, bool v) {
+  MetricValue m;
+  m.kind = MetricValue::Kind::Bool;
+  m.b = v;
+  metrics_.insert_or_assign(std::string(name), m);
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  return metrics_.find(name) != metrics_.end();
+}
+
+std::uint64_t MetricsRegistry::u64(std::string_view name,
+                                   std::uint64_t fallback) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return fallback;
+  const MetricValue& m = it->second;
+  switch (m.kind) {
+    case MetricValue::Kind::U64: return m.u;
+    case MetricValue::Kind::F64: return static_cast<std::uint64_t>(m.d);
+    case MetricValue::Kind::Bool: return m.b ? 1 : 0;
+  }
+  return fallback;
+}
+
+double MetricsRegistry::f64(std::string_view name, double fallback) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? fallback : it->second.as_double();
+}
+
+bool MetricsRegistry::flag(std::string_view name, bool fallback) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? fallback : it->second.as_double() != 0.0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.metrics_) {
+    metrics_.insert_or_assign(name, value);
+  }
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [name, m] : metrics_) {
+    w.key(name);
+    switch (m.kind) {
+      case MetricValue::Kind::U64: w.value(m.u); break;
+      case MetricValue::Kind::F64: w.value(m.d); break;
+      case MetricValue::Kind::Bool: w.value(m.b); break;
+    }
+  }
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace pi2m::telemetry

@@ -1,0 +1,80 @@
+// Unified named-metric snapshot registry.
+//
+// Every counter the system produces — refiner ThreadStats totals, predicate
+// filter-ladder counters, rule firings, quality/fidelity/validation reports
+// — is published here under a dotted name ("refine.rollbacks",
+// "quality.min_dihedral_deg") so one API serves the CLI's --metrics and
+// --json-report outputs, the bench manifest emitters, and the tests.
+// Collectors that translate the legacy structs live in
+// telemetry/collectors.hpp; this class knows nothing about them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace pi2m::telemetry {
+
+class JsonWriter;
+
+struct MetricValue {
+  enum class Kind : std::uint8_t { U64, F64, Bool };
+  Kind kind = Kind::U64;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  bool b = false;
+
+  /// Numeric view regardless of kind (Bool -> 0/1).
+  [[nodiscard]] double as_double() const {
+    switch (kind) {
+      case Kind::U64: return static_cast<double>(u);
+      case Kind::F64: return d;
+      case Kind::Bool: return b ? 1.0 : 0.0;
+    }
+    return 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  void set_u64(std::string_view name, std::uint64_t v);
+  void set(std::string_view name, double v);
+  void set(std::string_view name, bool v);
+  /// Any non-bool integral publishes as U64 (negative values clamp to 0 —
+  /// every counter in the system is a count).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void set(std::string_view name, T v) {
+    set_u64(name, v < T{0} ? 0 : static_cast<std::uint64_t>(v));
+  }
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::uint64_t u64(std::string_view name,
+                                  std::uint64_t fallback = 0) const;
+  [[nodiscard]] double f64(std::string_view name, double fallback = 0) const;
+  [[nodiscard]] bool flag(std::string_view name, bool fallback = false) const;
+
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+  [[nodiscard]] bool empty() const { return metrics_.empty(); }
+  [[nodiscard]] const std::map<std::string, MetricValue, std::less<>>& all()
+      const {
+    return metrics_;
+  }
+
+  /// Copies every metric of `other` into this registry (`other` wins ties).
+  void merge(const MetricsRegistry& other);
+
+  /// Appends this registry as one JSON object value (caller provides the
+  /// surrounding key); names sort lexicographically, so related metrics
+  /// group together.
+  void write_json(JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, MetricValue, std::less<>> metrics_;
+};
+
+}  // namespace pi2m::telemetry

@@ -6,8 +6,10 @@
 #include "core/sizing.hpp"
 #include "core/spatial_grid.hpp"
 #include "runtime/contention.hpp"
+#include "runtime/stats.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/workstealing.hpp"
+#include "telemetry/collectors.hpp"
 
 namespace pi2m {
 namespace {
@@ -297,6 +299,57 @@ TEST(Sizing, Helpers) {
   EXPECT_DOUBLE_EQ(rad({0, 0, 0}), 1.0);
   EXPECT_DOUBLE_EQ(rad({2, 0, 0}), 3.0);
   EXPECT_DOUBLE_EQ(rad({100, 0, 0}), 4.0);
+}
+
+// --- stats -> metrics registry --------------------------------------------
+
+TEST(Stats, CollectorMatchesAggregateTotals) {
+  // The MetricsRegistry snapshot must mirror the legacy aggregate() totals
+  // exactly — the manifest consumers treat the two as the same numbers.
+  std::vector<ThreadStats> per_thread(3);
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    ThreadStats& s = per_thread[t];
+    const auto k = static_cast<std::uint64_t>(t + 1);
+    s.operations = 100 * k;
+    s.insertions = 80 * k;
+    s.removals = 20 * k;
+    s.rollbacks = 7 * k;
+    s.failed_ops = 3 * k;
+    s.cells_created = 500 * k;
+    s.steals_intra_socket = 4 * k;
+    s.steals_intra_blade = 2 * k;
+    s.steals_inter_blade = k;
+    s.add_contention(0.25 * static_cast<double>(k));
+    s.add_loadbalance(0.125 * static_cast<double>(k));
+    s.add_rollback_time(0.0625 * static_cast<double>(k));
+  }
+  const StatsTotals totals = aggregate(per_thread);
+
+  telemetry::MetricsRegistry reg;
+  telemetry::collect_stats(reg, totals);
+
+  EXPECT_EQ(reg.u64("refine.operations"), totals.operations);
+  EXPECT_EQ(reg.u64("refine.insertions"), totals.insertions);
+  EXPECT_EQ(reg.u64("refine.removals"), totals.removals);
+  EXPECT_EQ(reg.u64("refine.rollbacks"), totals.rollbacks);
+  EXPECT_EQ(reg.u64("refine.failed_ops"), totals.failed_ops);
+  EXPECT_EQ(reg.u64("refine.cells_created"), totals.cells_created);
+  EXPECT_EQ(reg.u64("refine.steals_intra_socket"),
+            totals.steals_intra_socket);
+  EXPECT_EQ(reg.u64("refine.steals_intra_blade"), totals.steals_intra_blade);
+  EXPECT_EQ(reg.u64("refine.steals_inter_blade"), totals.steals_inter_blade);
+  EXPECT_EQ(reg.u64("refine.steals_total"), totals.total_steals());
+  EXPECT_DOUBLE_EQ(reg.f64("refine.contention_sec"), totals.contention_sec);
+  EXPECT_DOUBLE_EQ(reg.f64("refine.loadbalance_sec"),
+                   totals.loadbalance_sec);
+  EXPECT_DOUBLE_EQ(reg.f64("refine.rollback_sec"), totals.rollback_sec);
+  EXPECT_DOUBLE_EQ(reg.f64("refine.overhead_sec"),
+                   totals.total_overhead_sec());
+
+  // Spot-check against hand-computed sums (1+2+3 = 6 multipliers).
+  EXPECT_EQ(reg.u64("refine.operations"), 600u);
+  EXPECT_EQ(reg.u64("refine.steals_total"), 42u);
+  EXPECT_NEAR(reg.f64("refine.contention_sec"), 1.5, 1e-6);
 }
 
 }  // namespace

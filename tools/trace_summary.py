@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Summarize a pi2m Chrome trace (produced by `pi2m --trace FILE`).
+
+Reports, without opening a browser:
+  * per-phase wall time (the `phase.*` spans),
+  * operation counts and mean durations (`op.*` / `bw.*` spans),
+  * rollback rate (rollback instants vs. attempted operations),
+  * steal locality (intra-socket / intra-blade / inter-blade split),
+  * contention-manager wait time, and the dropped-event counter.
+
+With two trace files, prints the two summaries side by side (e.g. to
+compare contention managers or thread counts on the same input).
+
+Usage: tools/trace_summary.py TRACE.json [OTHER_TRACE.json]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        sys.exit(f"{path}: not a trace-event file (no 'traceEvents' key)")
+    return doc
+
+
+def summarize(doc):
+    """Reduce one trace document to a flat {section: {name: value}} dict."""
+    spans = defaultdict(lambda: [0, 0.0])  # name -> [count, total_us]
+    instants = defaultdict(int)            # name -> count
+    threads = set()
+    for ev in doc["traceEvents"]:
+        ph = ev.get("ph")
+        if ph == "X":
+            agg = spans[ev["name"]]
+            agg[0] += 1
+            agg[1] += ev.get("dur", 0.0)
+        elif ph == "i":
+            instants[ev["name"]] += 1
+        elif ph == "M" and ev.get("name") == "thread_name":
+            threads.add(ev["args"]["name"])
+
+    s = {}
+    s["lanes"] = {"threads": ", ".join(sorted(threads)) or "(unnamed)"}
+
+    phases = {
+        name[len("phase."):]: total / 1e6
+        for name, (_, total) in spans.items()
+        if name.startswith("phase.")
+    }
+    for name, (_, total) in spans.items():
+        if name.startswith("edt.pass_"):
+            phases.setdefault("edt passes", 0.0)
+            phases["edt passes"] += total / 1e6
+    s["phase wall time (s)"] = {k: f"{v:.3f}" for k, v in phases.items()}
+
+    ops = {}
+    for name, (count, total) in sorted(spans.items()):
+        if name.startswith(("op.", "bw.", "cm.", "idle")):
+            mean_us = total / count if count else 0.0
+            ops[name] = f"{count:>8} x {mean_us:9.1f} us"
+    s["spans (count x mean)"] = ops
+
+    attempts = spans["op.insert"][0] + spans["op.remove"][0]
+    rollbacks = instants.get("rollback", 0)
+    aborts = instants.get("bw.abort", 0)
+    rates = {"operation attempts": str(attempts)}
+    if attempts:
+        rates["rollbacks"] = f"{rollbacks} ({100.0 * rollbacks / attempts:.2f}%)"
+        rates["cavity aborts"] = f"{aborts} ({100.0 * aborts / attempts:.2f}%)"
+    s["rollback"] = rates
+
+    steal_names = ("steal.intra_socket", "steal.intra_blade",
+                   "steal.inter_blade")
+    total_steals = sum(instants.get(n, 0) for n in steal_names)
+    steals = {"total": str(total_steals), "begs": str(instants.get("lb.beg", 0))}
+    if total_steals:
+        for n in steal_names:
+            c = instants.get(n, 0)
+            steals[n[len("steal."):]] = (
+                f"{c} ({100.0 * c / total_steals:.1f}%)")
+    s["steals"] = steals
+
+    other = doc.get("otherData", {})
+    s["trace"] = {
+        "events": str(len(doc["traceEvents"])),
+        "dropped": str(other.get("dropped_events", "?")),
+        "schema": str(other.get("schema", "?")),
+    }
+    return s
+
+
+def print_single(s):
+    for section, rows in s.items():
+        if not rows:
+            continue
+        print(f"{section}:")
+        width = max(len(k) for k in rows)
+        for k, v in rows.items():
+            print(f"  {k:<{width}}  {v}")
+        print()
+
+
+def print_pair(a, b, name_a, name_b):
+    for section in dict.fromkeys(list(a) + list(b)):
+        rows_a, rows_b = a.get(section, {}), b.get(section, {})
+        keys = list(dict.fromkeys(list(rows_a) + list(rows_b)))
+        if not keys:
+            continue
+        kw = max(len(k) for k in keys)
+        vw = max([len(str(rows_a.get(k, "-"))) for k in keys] + [len(name_a)])
+        print(f"{section}:")
+        print(f"  {'':<{kw}}  {name_a:<{vw}}  {name_b}")
+        for k in keys:
+            print(f"  {k:<{kw}}  {str(rows_a.get(k, '-')):<{vw}}  "
+                  f"{rows_b.get(k, '-')}")
+        print()
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="Chrome trace JSON from pi2m --trace")
+    ap.add_argument("other", nargs="?",
+                    help="second trace: print both summaries side by side")
+    args = ap.parse_args()
+
+    first = summarize(load_trace(args.trace))
+    if args.other is None:
+        print_single(first)
+    else:
+        second = summarize(load_trace(args.other))
+        print_pair(first, second, args.trace, args.other)
+
+
+if __name__ == "__main__":
+    main()
