@@ -1,0 +1,81 @@
+// Incremental invariant auditor for the concurrent Delaunay mesh.
+//
+// check_integrity() is a full quadratic-ish sweep meant for small test
+// meshes; the auditor is its production-strength sibling: it caches the
+// generation word of every cell slot it has validated and, on subsequent
+// calls, re-checks only slots whose generation changed (new, retired or
+// recycled cells). That makes audit-every-N-operations affordable inside
+// the fuzz driver and at refiner phase boundaries.
+//
+// Per-cell checks (exact arithmetic, no epsilons):
+//  * generation parity — an alive cell has an odd generation word;
+//  * vertex liveness — no alive cell references a dead or out-of-range
+//    vertex;
+//  * orientation — orient3d over the 4 corners is strictly positive;
+//  * adjacency mirror symmetry — n[i] names a cell that is alive and has a
+//    face consisting of exactly the same 3 vertices, whose neighbour slot
+//    points back at us;
+//  * hull conformity — a kNoCell neighbour is only legal on the virtual
+//    box hull, i.e. when all 3 face vertices are Box-kind;
+//  * sampled local Delaunay — for a deterministic 1-in-N sample of faces,
+//    the neighbour's opposite vertex must not lie strictly inside our
+//    circumsphere (exact insphere).
+//
+// Global checks (audit_full / phase boundaries):
+//  * cavity closure — the signed volumes of all alive cells sum to the
+//    virtual-box volume (every commit swaps a cavity for a star of equal
+//    volume, so any leak or overlap shows up here);
+//  * everything incremental, with the cache cleared first.
+//
+// Thread contract: call only while no thread is mutating the mesh (the
+// refiner's phase boundaries, or after workers join).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+
+namespace pi2m::check {
+
+struct AuditReport {
+  bool ok = true;
+  /// Human-readable violations, capped at kMaxErrors (counted beyond).
+  std::vector<std::string> errors;
+  std::size_t cells_checked = 0;
+  std::size_t insphere_checked = 0;
+  std::size_t total_violations = 0;
+
+  static constexpr std::size_t kMaxErrors = 32;
+};
+
+class InvariantAuditor {
+ public:
+  /// `insphere_sample` = check the local Delaunay property on roughly 1 in
+  /// N eligible faces (0 disables the sampled insphere check entirely).
+  explicit InvariantAuditor(const DelaunayMesh& mesh,
+                            std::uint32_t insphere_sample = 8);
+
+  /// Checks only cells whose generation changed since the last audit.
+  AuditReport audit_incremental();
+
+  /// Clears the generation cache, re-checks every alive cell and runs the
+  /// global volume-closure check.
+  AuditReport audit_full();
+
+ private:
+  void audit_cell(CellId c, AuditReport& rep);
+  void add_error(AuditReport& rep, std::string msg) const;
+
+  const DelaunayMesh& mesh_;
+  /// Generation word of each slot at the time it last passed; slots whose
+  /// current generation matches are skipped.
+  std::vector<std::uint32_t> checked_gen_;
+  std::uint32_t insphere_sample_;
+  /// Deterministic sampling state (splitmix-style counter hash, no global
+  /// RNG) so two audits of identical meshes check identical faces.
+  std::uint64_t sample_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace pi2m::check

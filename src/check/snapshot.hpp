@@ -1,0 +1,52 @@
+// Canonical triangulation snapshots: an id-free value representation of a
+// DelaunayMesh used to compare a concurrent run against its sequential
+// replay byte-for-byte.
+//
+// Vertex and cell *ids* are allocation artifacts (threads draw them from
+// shared counters in racy order), so two executions of the same logical
+// operation sequence produce the same complex under different ids. The
+// canonical form erases the ids: alive vertices are sorted by position
+// (positions are immutable and unique among alive vertices), and every cell
+// becomes the sorted 4-tuple of canonical vertex indices, with the cell
+// list itself sorted. Two meshes are equal as simplicial complexes iff
+// their canonical snapshots serialize to identical bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+
+namespace pi2m::check {
+
+struct MeshSnapshot {
+  /// Alive vertices sorted lexicographically by (x, y, z).
+  std::vector<Vec3> vertices;
+  /// VertexKind per vertex, parallel to `vertices`.
+  std::vector<std::uint8_t> kinds;
+  /// Alive cells as ascending canonical vertex indices; list sorted.
+  std::vector<std::array<std::uint32_t, 4>> cells;
+
+  bool operator==(const MeshSnapshot& other) const;
+};
+
+/// Captures the canonical snapshot. Only valid while no thread is mutating
+/// the mesh.
+MeshSnapshot snapshot_mesh(const DelaunayMesh& mesh);
+
+/// Canonical little-endian byte serialization (the "byte-identical"
+/// comparison unit; also what replay bundles store on disk).
+std::string snapshot_bytes(const MeshSnapshot& s);
+
+/// FNV-1a over snapshot_bytes — a cheap fingerprint for logs/manifests.
+std::uint64_t snapshot_hash(const MeshSnapshot& s);
+
+/// Writes snapshot_bytes to `path` / reads a snapshot back. load returns
+/// false (filling `error` when given) on malformed input.
+bool save_snapshot(const MeshSnapshot& s, const std::string& path);
+bool load_snapshot(const std::string& path, MeshSnapshot& out,
+                   std::string* error = nullptr);
+
+}  // namespace pi2m::check

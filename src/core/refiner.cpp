@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "check/auditor.hpp"
+#include "check/oplog.hpp"
 #include "geometry/tetra.hpp"
 #include "support/parallel_for.hpp"
 #include "telemetry/telemetry.hpp"
@@ -49,6 +51,7 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
   cm_ctx.done = &done_;
   cm_ctx.idle_threads = &idle_count_;
   cm_ctx.nthreads = opt_.threads;
+  cm_ctx.seed = opt_.rng_seed;
   cm_ = make_contention_manager(opt_.cm, cm_ctx);
 
   ctxs_.reserve(static_cast<std::size_t>(opt_.threads));
@@ -162,6 +165,9 @@ void Refiner::handle_insertion(int tid, const PelEntry& e) {
   // BFS can be seeded there directly. Surface points (R1/R3) lie away from
   // the cell and use the walking path with the cell as hint.
   const bool is_circumcenter = cls.kind == VertexKind::Circumcenter;
+  // Tags the commit record with the triggering rule when the op-log
+  // recorder is active (the kernel itself does not know about R1-R5).
+  check::set_current_rule(static_cast<std::uint8_t>(cls.rule));
   const OpResult r =
       is_circumcenter
           ? insert_point_in_conflict(*mesh_, cls.point, cls.kind, e.cell,
@@ -234,6 +240,8 @@ void Refiner::handle_removal(int tid, VertexId v) {
   const Vec3 pos = vert.pos;
 
   telemetry::Span op_span("op.remove", "op");
+  // 6 = the R6 removal rule (the Rule enum only covers insertion rules).
+  check::set_current_rule(6);
   const double t0 = now_sec();
   const OpResult r = remove_vertex(*mesh_, v, tid, ctx.removal_scratch);
   switch (r.status) {
@@ -402,6 +410,17 @@ RefineOutcome Refiner::refine() {
   }
 
   RefineOutcome out;
+  if (opt_.audit_final) {
+    // Phase boundary: the workers joined, so the mesh is quiescent and the
+    // auditor's no-concurrent-mutation contract holds.
+    PI2M_TRACE_SPAN("phase.audit", "phase");
+    check::InvariantAuditor auditor(*mesh_);
+    check::AuditReport rep = auditor.audit_full();
+    out.audit_errors = std::move(rep.errors);
+    if (!rep.ok && out.audit_errors.empty()) {
+      out.audit_errors.push_back("audit failed (violations truncated)");
+    }
+  }
   out.completed = !livelocked_.load() && !budget_exhausted_.load();
   out.livelocked = livelocked_.load();
   out.budget_exhausted = budget_exhausted_.load();

@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/rules.hpp"
@@ -50,6 +51,15 @@ struct RefinerOptions {
   bool record_timeline = false;       ///< sample Figure-6 style series
   double timeline_period_sec = 0.05;
   int edt_threads = 0;                ///< 0 = same as `threads`
+
+  /// Seed for randomized runtime decisions (Random-CM backoff streams).
+  /// 0 = nondeterministic (std::random_device); non-zero makes the runtime's
+  /// random choices reproducible for fuzzing and failure replay.
+  std::uint64_t rng_seed = 0;
+  /// Run a full invariant audit (check/auditor.hpp) on the final mesh after
+  /// the workers join — the refinement-phase boundary, where the mesh is
+  /// quiescent. Violations land in RefineOutcome::audit_errors.
+  bool audit_final = false;
 };
 
 struct RefineOutcome {
@@ -64,6 +74,9 @@ struct RefineOutcome {
   std::size_t mesh_cells = 0;   ///< elements with circumcenter inside O
   std::size_t vertices = 0;
   std::array<std::uint64_t, 6> rule_counts{};  ///< successful ops per rule
+  /// Violations found by the final audit (audit_final); empty when the
+  /// audit passed or was not requested.
+  std::vector<std::string> audit_errors;
 };
 
 class Refiner {

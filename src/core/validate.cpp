@@ -6,6 +6,7 @@
 #include <map>
 
 #include "geometry/tetra.hpp"
+#include "predicates/predicates.hpp"
 
 namespace pi2m {
 namespace {
@@ -52,12 +53,30 @@ MeshValidation validate_mesh(const TetMesh& mesh) {
   if (!v.errors.empty()) return v;  // indices unusable below
 
   // --- element sanity ---
+  // Sliver threshold: relative to the mesh's own scale so validation is
+  // unit-independent. 1e-12 of diag^3 is far below any element a sizing-
+  // driven refinement legitimately produces, but still ~4 orders of
+  // magnitude above double rounding noise at the bbox scale.
+  Aabb bbox;
+  for (const Vec3& p : mesh.points) bbox.expand(p);
+  const double diag = mesh.points.empty() ? 0.0 : norm(bbox.extent());
+  const double sliver_vol = 1e-12 * diag * diag * diag;
   for (std::size_t i = 0; i < mesh.tets.size(); ++i) {
     const auto& t = mesh.tets[i];
-    const double vol =
-        signed_volume(mesh.points[t[0]], mesh.points[t[1]], mesh.points[t[2]],
-                      mesh.points[t[3]]);
-    if (std::fabs(vol) <= 0.0) fail("zero-volume tetrahedron");
+    // The exact predicate decides degenerate/inverted: the floating-point
+    // volume of a coplanar quadruple can round to a nonzero value (and an
+    // inverted sliver's to a positive one), so fabs(vol) <= 0.0 misses both.
+    const int sign = orient3d(mesh.points[t[0]], mesh.points[t[1]],
+                              mesh.points[t[2]], mesh.points[t[3]]);
+    if (sign == 0) {
+      fail("degenerate (coplanar) tetrahedron");
+    } else if (sign < 0) {
+      fail("inverted (negatively oriented) tetrahedron");
+    } else {
+      const double vol = signed_volume(mesh.points[t[0]], mesh.points[t[1]],
+                                       mesh.points[t[2]], mesh.points[t[3]]);
+      if (vol < sliver_vol) ++v.sliver_elements;
+    }
     if (i < mesh.tet_labels.size() && mesh.tet_labels[i] == 0) {
       fail("element with background label");
     }

@@ -1,3 +1,4 @@
+#include "check/oplog.hpp"
 #include "delaunay/operations.hpp"
 #include "predicates/predicates.hpp"
 #include "telemetry/telemetry.hpp"
@@ -167,6 +168,11 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
              "unmatched cavity-boundary edge after re-fill");
 
   for (const CellId c : s.cavity) mesh.retire_cell(c, s.freelist);
+  // Recorded before unlock: the sequence number drawn inside is only a valid
+  // linearization order while the op still holds its vertex locks.
+  check::record_commit(check::OpKind::Insert, p,
+                       static_cast<std::uint8_t>(kind),
+                       static_cast<std::uint32_t>(s.cavity.size()), tid);
   unlock_all(mesh, tid, s);
 
   res.status = OpStatus::Success;

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/oplog.hpp"
 #include "delaunay/local_dt.hpp"
 #include "delaunay/operations.hpp"
 #include "geometry/tetra.hpp"
@@ -352,6 +353,11 @@ OpResult remove_vertex(DelaunayMesh& mesh, VertexId pv, int tid,
 
   for (const CellId c : s.cavity) mesh.retire_cell(c, s.freelist);
   vp.dead.store(true, std::memory_order_release);
+  // Recorded before unlock: the sequence number drawn inside is only a valid
+  // linearization order while the op still holds its vertex locks.
+  check::record_commit(check::OpKind::Remove, vp.pos,
+                       static_cast<std::uint8_t>(vp.kind),
+                       static_cast<std::uint32_t>(s.cavity.size()), tid);
   unlock_all(mesh, tid, s);
 
   res.status = OpStatus::Success;

@@ -29,6 +29,7 @@ struct MhaHeader {
   Vec3 spacing{1, 1, 1};
   Vec3 origin{0, 0, 0};
   std::string element_type;
+  bool big_endian = false;     ///< ElementByteOrderMSB / BinaryDataByteOrderMSB
   std::size_t header_end = 0;  ///< offset of the first voxel byte
 };
 
@@ -58,8 +59,25 @@ bool parse_header(const std::string& raw, MhaHeader& h, std::string* error) {
     return it == kv.end() ? std::string{} : it->second;
   };
   if (get("NDims") != "3") return fail(error, "only NDims=3 supported");
+  if (get("CompressedData") == "True") {
+    return fail(error,
+                "CompressedData = True is not supported: decompress the file "
+                "first (e.g. convert with ITK/SimpleITK to an uncompressed "
+                ".mha)");
+  }
   if (!get("CompressedData").empty() && get("CompressedData") != "False") {
-    return fail(error, "compressed data not supported");
+    return fail(error, "unrecognized CompressedData value '" +
+                           get("CompressedData") + "'");
+  }
+  // MetaImage spells the byte-order key both ways depending on the writer;
+  // either one set to True means the voxel data is big-endian.
+  for (const char* k : {"ElementByteOrderMSB", "BinaryDataByteOrderMSB"}) {
+    const std::string v = get(k);
+    if (v == "True") {
+      h.big_endian = true;
+    } else if (!v.empty() && v != "False") {
+      return fail(error, std::string("bad ") + k + " value '" + v + "'");
+    }
   }
   {
     std::istringstream ss(get("DimSize"));
@@ -147,8 +165,12 @@ std::optional<LabeledImage3D> read_mha(const std::string& path,
     std::copy(data, data + voxels, img.raw().begin());
   } else {
     for (std::size_t i = 0; i < voxels; ++i) {
-      // Little-endian ushort labels; must fit a label byte.
-      const unsigned v = data[2 * i] | (unsigned(data[2 * i + 1]) << 8);
+      // ushort labels, assembled per the header's byte order (the previous
+      // reader assumed little-endian and silently mangled MSB files);
+      // must fit a label byte.
+      const unsigned lo = data[2 * i + (h.big_endian ? 1 : 0)];
+      const unsigned hi = data[2 * i + (h.big_endian ? 0 : 1)];
+      const unsigned v = lo | (hi << 8);
       if (v > 255) {
         if (error) *error = "MET_USHORT label exceeds 255";
         return std::nullopt;

@@ -7,10 +7,33 @@
 
 namespace pi2m {
 
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const double len2 = dot(ab, ab);
+  if (len2 <= 0.0) return distance(p, a);  // degenerate segment
+  const double t = std::clamp(dot(p - a, ab) / len2, 0.0, 1.0);
+  return distance(p, a + t * ab);
+}
+
 double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
                                const Vec3& c) {
   // Ericson, "Real-Time Collision Detection", closest point on triangle.
   const Vec3 ab = b - a, ac = c - a, ap = p - a;
+
+  // Zero-area triangles (collinear or coincident vertices) break the
+  // region classification below two ways: a vanished barycentric
+  // denominator makes the interior case divide 0/0, and a zero-length
+  // edge can satisfy an edge-region test whose *other* edge carries the
+  // true minimum (a == b classifies p into the a-b "edge" even when the
+  // surviving segment a-c is closer). A degenerate triangle IS its
+  // edges, so the minimum clamped segment distance is exact.
+  const Vec3 nrm = cross(ab, ac);
+  if (!(dot(nrm, nrm) > 0.0)) {
+    return std::min({point_segment_distance(p, a, b),
+                     point_segment_distance(p, b, c),
+                     point_segment_distance(p, c, a)});
+  }
+
   const double d1 = dot(ab, ap), d2 = dot(ac, ap);
   if (d1 <= 0.0 && d2 <= 0.0) return distance(p, a);
 
@@ -18,10 +41,13 @@ double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
   const double d3 = dot(ab, bp), d4 = dot(ac, bp);
   if (d3 >= 0.0 && d4 <= d3) return distance(p, b);
 
+  // Edge regions delegate to the clamped segment distance: the textbook
+  // t = d1/(d1-d3) style ratios divide by |edge|^2-derived quantities that
+  // vanish for coincident vertices (0/0 -> NaN); the clamp is a no-op on
+  // non-degenerate inputs and exact on degenerate ones.
   const double vc = d1 * d4 - d3 * d2;
   if (vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0) {
-    const double v = d1 / (d1 - d3);
-    return distance(p, a + v * ab);
+    return point_segment_distance(p, a, b);
   }
 
   const Vec3 cp = p - c;
@@ -30,17 +56,25 @@ double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
 
   const double vb = d5 * d2 - d1 * d6;
   if (vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0) {
-    const double w = d2 / (d2 - d6);
-    return distance(p, a + w * ac);
+    return point_segment_distance(p, a, c);
   }
 
   const double va = d3 * d6 - d5 * d4;
   if (va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0) {
-    const double w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
-    return distance(p, b + w * (c - b));
+    return point_segment_distance(p, b, c);
   }
 
-  const double denom = 1.0 / (va + vb + vc);
+  // Interior region. A zero-area triangle (collinear or coincident
+  // vertices) can slip through every edge-region test with va+vb+vc == 0;
+  // dividing then yields inf/NaN coordinates that poison the Hausdorff
+  // max. Such a triangle IS its edges, so the edge distances are exact.
+  const double sum = va + vb + vc;
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    return std::min({point_segment_distance(p, a, b),
+                     point_segment_distance(p, b, c),
+                     point_segment_distance(p, c, a)});
+  }
+  const double denom = 1.0 / sum;
   const double v = vb * denom, w = vc * denom;
   return distance(p, a + v * ab + w * ac);
 }

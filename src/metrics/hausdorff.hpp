@@ -16,7 +16,14 @@
 
 namespace pi2m {
 
+/// Exact distance from point p to segment [a,b] (degenerate segments fall
+/// back to the point distance).
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b);
+
 /// Exact distance from point p to triangle (a,b,c) (Ericson, RTCD §5.1.5).
+/// Degenerate (zero-area: collinear or coincident) triangles fall back to
+/// the minimum point-segment distance over the edges instead of dividing by
+/// a vanished barycentric denominator.
 double point_triangle_distance(const Vec3& p, const Vec3& a, const Vec3& b,
                                const Vec3& c);
 

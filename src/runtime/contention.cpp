@@ -37,7 +37,17 @@ class RandomCm final : public ContentionManager {
   void on_rollback(int tid, int /*conflicting*/, ThreadStats& stats) override {
     if (++consecutive_[tid].v <= r_plus_) return;
     consecutive_[tid].v = 0;
-    thread_local std::mt19937 rng(std::random_device{}());
+    // Seeded per thread id when the context carries a seed, so fuzz runs can
+    // reproduce the backoff stream; random_device otherwise (historical).
+    thread_local std::mt19937 rng = [&] {
+      if (ctx_.seed != 0) {
+        std::seed_seq seq{static_cast<unsigned>(ctx_.seed),
+                          static_cast<unsigned>(ctx_.seed >> 32),
+                          static_cast<unsigned>(tid)};
+        return std::mt19937(seq);
+      }
+      return std::mt19937(std::random_device{}());
+    }();
     std::uniform_int_distribution<int> ms(1, r_plus_);
     telemetry::Span cm_span("cm.backoff", "cm");
     const double t0 = now_sec();

@@ -42,6 +42,10 @@ struct CmContext {
   const std::atomic<bool>* done = nullptr;      ///< global stop flag
   std::atomic<int>* idle_threads = nullptr;     ///< threads parked on begging lists
   int nthreads = 1;
+  /// Seed for randomized CM decisions (Random-CM backoff). 0 = seed from
+  /// std::random_device (historical behaviour); non-zero makes the per-
+  /// thread backoff streams reproducible across runs (fuzzing/replay).
+  std::uint64_t seed = 0;
 };
 
 class ContentionManager {

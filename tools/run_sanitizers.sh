@@ -21,12 +21,18 @@ run_one() {
   cmake -B "$dir" -S . -DPI2M_SANITIZE="$kind" >/dev/null
   cmake --build "$dir" -j "$(nproc)" --target \
     delaunay_test runtime_test torture_test property_test \
-    staged_predicates_test telemetry_test
+    staged_predicates_test telemetry_test check_test pi2m_fuzz
   # halt_on_error: fail the test run on the first report instead of racing on.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
     ctest --test-dir "$dir" -L sanitize --output-on-failure
+  # Fixed-seed fuzz smoke: 27 seeds cover every scenario family at 1/2/4
+  # threads, with record -> sequential replay -> byte-compare on each case.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    "$dir/apps/pi2m_fuzz" --corpus 27
 }
 
 case "$which" in
