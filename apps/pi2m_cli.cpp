@@ -50,6 +50,10 @@ void usage() {
       "  --threads T             worker threads (default 1)\n"
       "  --cm NAME               aggressive|random|global|local (default local)\n"
       "  --lb NAME               rws|hws (default hws)\n"
+      "  --no-geom-cache         disable the per-cell geometry cache (A/B\n"
+      "                          baseline; results are identical either way)\n"
+      "  --reference-walks       use the scalar-sampling oracle walks instead\n"
+      "                          of the voxel-DDA traversal (A/B baseline)\n"
       "\n"
       "post-processing / output:\n"
       "  --smooth N              quality-guarded smoothing iterations\n"
@@ -81,6 +85,8 @@ struct Args {
   int threads = 1;
   std::string cm = "local";
   std::string lb = "hws";
+  bool no_geom_cache = false;
+  bool reference_walks = false;
   int smooth = 0;
   std::vector<std::string> outs;
   std::string save_image;
@@ -130,6 +136,10 @@ std::optional<Args> parse(int argc, char** argv) {
       a.cm = next();
     } else if (key == "--lb") {
       a.lb = next();
+    } else if (key == "--no-geom-cache") {
+      a.no_geom_cache = true;
+    } else if (key == "--reference-walks") {
+      a.reference_walks = true;
     } else if (key == "--smooth") {
       a.smooth = std::atoi(next());
     } else if (key == "--out") {
@@ -232,6 +242,8 @@ int main(int argc, char** argv) {
   opt.radius_edge_bound = args->rho;
   opt.min_planar_angle_deg = args->facet_angle;
   opt.threads = args->threads;
+  opt.use_geom_cache = !args->no_geom_cache;
+  opt.use_reference_walks = args->reference_walks;
   if (args->uniform_size > 0) {
     opt.size_function = pi2m::sizing::uniform(args->uniform_size);
   }

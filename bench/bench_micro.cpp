@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "core/rules.hpp"
 #include "core/spatial_grid.hpp"
+#include "delaunay/geom_cache.hpp"
 #include "delaunay/local_dt.hpp"
 #include "delaunay/mesh.hpp"
 #include "delaunay/operations.hpp"
@@ -109,7 +111,8 @@ void BM_EdtConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_EdtConstruction)->Arg(32)->Arg(64);
 
-void BM_OracleClosestSurfacePoint(benchmark::State& state) {
+void BM_OracleClosestPoint(benchmark::State& state) {
+  // Voxel-DDA walk (the default production path).
   const LabeledImage3D img = phantom::abdominal(48, 48, 48);
   const IsosurfaceOracle oracle(img, 1);
   const auto pts = random_points(1024, 3, 5.0, 43.0);
@@ -119,7 +122,110 @@ void BM_OracleClosestSurfacePoint(benchmark::State& state) {
     ++i;
   }
 }
-BENCHMARK(BM_OracleClosestSurfacePoint);
+BENCHMARK(BM_OracleClosestPoint);
+
+void BM_OracleClosestPointRef(benchmark::State& state) {
+  // Reference scalar-sampling walk, same queries (A/B baseline).
+  const LabeledImage3D img = phantom::abdominal(48, 48, 48);
+  const IsosurfaceOracle oracle(img, 1);
+  const auto pts = random_points(1024, 3, 5.0, 43.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.closest_surface_point_reference(pts[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OracleClosestPointRef);
+
+void BM_SegmentIntersect(benchmark::State& state) {
+  const LabeledImage3D img = phantom::abdominal(48, 48, 48);
+  const IsosurfaceOracle oracle(img, 1);
+  const auto pts = random_points(2048, 8, 5.0, 43.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.segment_surface_intersection(pts[i % 2048], pts[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentIntersect);
+
+void BM_SegmentIntersectRef(benchmark::State& state) {
+  const LabeledImage3D img = phantom::abdominal(48, 48, 48);
+  const IsosurfaceOracle oracle(img, 1);
+  const auto pts = random_points(2048, 8, 5.0, 43.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.segment_surface_intersection_reference(
+        pts[i % 2048], pts[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentIntersectRef);
+
+/// Shared scenario for the classify benches: a triangulation of random
+/// points over an abdominal phantom, classified against an empty iso grid
+/// (every near-surface cell exercises the full R1 walk path, like the
+/// early refinement phase does).
+struct ClassifyScenario {
+  LabeledImage3D img = phantom::abdominal(32, 32, 32);
+  IsosurfaceOracle oracle{img, 1};
+  DelaunayMesh mesh;
+  SpatialHashGrid iso_grid;
+  RefineRulesConfig cfg;
+  std::vector<CellId> cells;
+
+  ClassifyScenario()
+      : mesh(img.bounds().inflated(8.0), 1u << 16, 1u << 19),
+        iso_grid(img.bounds().inflated(8.0), 4.0) {
+    cfg.delta = 2.0;
+    OpScratch scratch;
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> u(1.0, 31.0);
+    for (int i = 0; i < 2000; ++i) {
+      const Vec3 p{u(rng), u(rng), u(rng)};
+      insert_point(mesh, p, VertexKind::Circumcenter, 0, 0, scratch);
+    }
+    mesh.for_each_alive_cell([&](CellId c) { cells.push_back(c); });
+  }
+};
+
+ClassifyScenario& classify_scenario() {
+  static ClassifyScenario s;
+  return s;
+}
+
+void BM_ClassifyCell(benchmark::State& state) {
+  // Warm generation-tagged cache: the steady state of pops/retries/R3 scans.
+  ClassifyScenario& s = classify_scenario();
+  CellGeomCache cache(s.mesh.cell_capacity());
+  for (const CellId c : s.cells) {
+    benchmark::DoNotOptimize(
+        classify_cell(s.mesh, c, s.oracle, s.iso_grid, s.cfg, &cache, 0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_cell(s.mesh, s.cells[i % s.cells.size()],
+                                           s.oracle, s.iso_grid, s.cfg, &cache,
+                                           0));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyCell);
+
+void BM_ClassifyCellUncached(benchmark::State& state) {
+  // Baseline: every classify recomputes circumspheres/EDT/inside from
+  // scratch (the pre-cache behaviour).
+  ClassifyScenario& s = classify_scenario();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_cell(
+        s.mesh, s.cells[i % s.cells.size()], s.oracle, s.iso_grid, s.cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyCellUncached);
 
 void BM_DelaunayInsertion(benchmark::State& state) {
   // Throughput of the full speculative insertion path (single thread).

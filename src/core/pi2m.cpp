@@ -74,6 +74,8 @@ RefinerOptions to_refiner_options(const MeshingOptions& opt) {
   r.max_vertices = opt.max_vertices;
   r.max_cells = opt.max_cells;
   r.watchdog_sec = opt.watchdog_sec;
+  r.use_geom_cache = opt.use_geom_cache;
+  r.use_reference_walks = opt.use_reference_walks;
   return r;
 }
 

@@ -61,6 +61,11 @@ struct MeshingOptions {
   std::size_t max_vertices = std::size_t{1} << 22;
   std::size_t max_cells = std::size_t{1} << 24;
   double watchdog_sec = 30.0;
+
+  /// A/B switches for the classification hot path (defaults = fast path):
+  /// the generation-tagged geometry cache and the voxel-DDA oracle walks.
+  bool use_geom_cache = true;
+  bool use_reference_walks = false;
 };
 
 struct MeshingResult {

@@ -32,12 +32,16 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
         opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
     oracle_ = std::make_unique<IsosurfaceOracle>(img, edt_threads);
   }
+  oracle_->set_use_dda(!opt_.use_reference_walks);
   edt_sec_ = now_sec() - t0;
 
   const Aabb ib = img.bounds();
   const Aabb box = ib.inflated(kBoxMarginFrac * norm(ib.extent()));
   mesh_ = std::make_unique<DelaunayMesh>(box, opt_.max_vertices,
                                          opt_.max_cells);
+  if (opt_.use_geom_cache) {
+    geom_cache_ = std::make_unique<CellGeomCache>(mesh_->cell_capacity());
+  }
 
   // Cell size = 2x query radius: a query ball overlaps at most 8 cells.
   // (removal_factor 0 disables R6; the grid still needs a positive cell.)
@@ -69,8 +73,7 @@ void Refiner::drain_inbox(int tid) {
   ctx.inbox.clear();
 }
 
-bool Refiner::tag_near_surface(CellId c) const {
-  const auto p = mesh_->positions(c);
+bool Refiner::tag_near_surface(const std::array<Vec3, 4>& p) const {
   const Vec3 centroid = 0.25 * (p[0] + p[1] + p[2] + p[3]);
   double reach2 = 0.0;
   for (const Vec3& v : p) reach2 = std::max(reach2, distance2(centroid, v));
@@ -91,7 +94,19 @@ void Refiner::distribute_new_cells(int tid, const std::vector<CellId>& created) 
   for (const CellId c : created) {
     const std::uint32_t gen = mesh_->cell_gen(c);
     if ((gen & 1u) == 0) continue;  // already re-retired by a racing thread
-    ctx.new_poor.push_back({c, gen, tag_near_surface(c)});
+    const auto p = mesh_->positions(c);
+    // Snapshot validation (see rules.cpp compute_core): a racing thread may
+    // retire and recycle one of our fresh cells; the generation re-read
+    // rejects a possibly-torn position read before anything is derived
+    // from it.
+    if (mesh_->cell_gen(c) != gen) continue;
+    // The geometry cache is filled lazily by the first classify_cell of
+    // (c, gen) rather than here: roughly half of freshly created cells are
+    // re-retired by a later cavity before they are ever popped, so an
+    // eager fill would pay the oracle work (EDT fetch + inside test) for
+    // cells nobody classifies. Pops, retries and R3 neighbour scans of the
+    // surviving cells all hit the lazily filled entry.
+    ctx.new_poor.push_back({c, gen, tag_near_surface(p)});
   }
   if (ctx.new_poor.empty()) return;
 
@@ -155,7 +170,8 @@ void Refiner::handle_insertion(int tid, const PelEntry& e) {
   // marks entries that classified clean (no operation attempted).
   telemetry::Span op_span("op.insert", "op");
   const Classification cls =
-      classify_cell(*mesh_, e.cell, *oracle_, *iso_grid_, opt_.rules);
+      classify_cell(*mesh_, e.cell, *oracle_, *iso_grid_, opt_.rules,
+                    geom_cache_.get(), tid);
   op_span.set_arg("rule", static_cast<std::uint64_t>(cls.rule));
   if (cls.rule == Rule::None) return;
 
@@ -165,6 +181,21 @@ void Refiner::handle_insertion(int tid, const PelEntry& e) {
   // BFS can be seeded there directly. Surface points (R1/R3) lie away from
   // the cell and use the walking path with the cell as hint.
   const bool is_circumcenter = cls.kind == VertexKind::Circumcenter;
+  // R1's δ-sparsity gate was evaluated inside classify_cell; on an
+  // oversubscribed core the thread can be descheduled before the insert
+  // commits, during which racing threads may sample the same surface
+  // patch. Re-check the gate against the current grid immediately before
+  // the operation so the window shrinks from [classify, commit] to the
+  // locked region, and re-examine the cell under the updated grid instead
+  // of committing a near-duplicate sample.
+  if (cls.rule == Rule::R1 &&
+      iso_grid_->any_within(cls.point, opt_.rules.delta)) {
+    if (mesh_->cell_gen(e.cell) == e.gen) {
+      (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return;
+  }
   // Tags the commit record with the triggering rule when the op-log
   // recorder is active (the kernel itself does not know about R1-R5).
   check::set_current_rule(static_cast<std::uint8_t>(cls.rule));
@@ -430,6 +461,13 @@ RefineOutcome Refiner::refine() {
   out.timeline = timeline_;
   for (std::size_t i = 0; i < rule_counts_.size(); ++i) {
     out.rule_counts[i] = rule_counts_[i].load(std::memory_order_relaxed);
+  }
+  if (geom_cache_ != nullptr) {
+    const CellGeomCache::CounterTotals ct = geom_cache_->totals();
+    out.classify_cache_hits = ct.hits;
+    out.classify_cache_misses = ct.misses;
+    out.classify_csp_hits = ct.csp_hits;
+    out.classify_csp_misses = ct.csp_misses;
   }
 
   // Count alive cells and final elements (circumcenter inside O) with a

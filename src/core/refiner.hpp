@@ -56,6 +56,13 @@ struct RefinerOptions {
   /// 0 = nondeterministic (std::random_device); non-zero makes the runtime's
   /// random choices reproducible for fuzzing and failure replay.
   std::uint64_t rng_seed = 0;
+  /// Serve classification geometry from the generation-tagged per-cell
+  /// cache (delaunay/geom_cache.hpp). Off = recompute everything per
+  /// classify (A/B baseline; results are identical either way).
+  bool use_geom_cache = true;
+  /// Use the reference scalar sampling walks instead of the voxel-DDA
+  /// walks in the oracle (A/B baseline; see IsosurfaceOracle::set_use_dda).
+  bool use_reference_walks = false;
   /// Run a full invariant audit (check/auditor.hpp) on the final mesh after
   /// the workers join — the refinement-phase boundary, where the mesh is
   /// quiescent. Violations land in RefineOutcome::audit_errors.
@@ -74,6 +81,12 @@ struct RefineOutcome {
   std::size_t mesh_cells = 0;   ///< elements with circumcenter inside O
   std::size_t vertices = 0;
   std::array<std::uint64_t, 6> rule_counts{};  ///< successful ops per rule
+  /// Geometry-cache effectiveness over the whole run (zero when the cache
+  /// was disabled): core entry and memoized closest-surface-point lookups.
+  std::uint64_t classify_cache_hits = 0;
+  std::uint64_t classify_cache_misses = 0;
+  std::uint64_t classify_csp_hits = 0;
+  std::uint64_t classify_csp_misses = 0;
   /// Violations found by the final audit (audit_final); empty when the
   /// audit passed or was not requested.
   std::vector<std::string> audit_errors;
@@ -104,7 +117,9 @@ class Refiner {
 
   /// Cheap O(1) scheduling tag: true when the cell plausibly intersects
   /// the surface neighbourhood. Mis-tags only affect processing order.
-  [[nodiscard]] bool tag_near_surface(CellId c) const;
+  /// Takes the already-loaded vertex positions so the caller can share the
+  /// load with the geometry-cache fill.
+  [[nodiscard]] bool tag_near_surface(const std::array<Vec3, 4>& p) const;
 
   struct alignas(64) ThreadCtx {
     /// Two-priority PEL: cells near ∂O (fidelity rules) are refined before
@@ -134,6 +149,7 @@ class Refiner {
   const LabeledImage3D* img_;
   std::unique_ptr<IsosurfaceOracle> oracle_;
   std::unique_ptr<DelaunayMesh> mesh_;
+  std::unique_ptr<CellGeomCache> geom_cache_;  ///< null when disabled
   std::unique_ptr<SpatialHashGrid> iso_grid_;
   std::unique_ptr<SpatialHashGrid> cc_grid_;
   Topology topo_;

@@ -18,30 +18,76 @@ const char* to_string(Rule r) {
   return "?";
 }
 
+namespace {
+
+/// The cache-eligible geometry of a cell, computed fresh from its vertex
+/// positions and the (static) image: circumsphere, EDT lower bound on the
+/// circumcenter's surface distance, inside-O test at the circumcenter.
+///
+/// Returns false when the slot was recycled while the positions were being
+/// read (seqlock-style validation: a commit bumps the generation *before*
+/// its release-stores to v[], so observing any of its vertex writes forces
+/// the generation re-read to see the newer value). A false return means the
+/// snapshot may be torn and MUST NOT be classified or published under `gen`.
+bool compute_core(const DelaunayMesh& mesh, CellId c, std::uint32_t gen,
+                  const IsosurfaceOracle& oracle,
+                  CellGeomCache::CoreView& g) {
+  const auto pos = mesh.positions(c);
+  if (mesh.cell_gen(c) != gen) return false;  // recycled mid-read
+  g.cs = circumsphere(pos[0], pos[1], pos[2], pos[3]);
+  if (g.cs.valid) {
+    g.surf_lb = oracle.surface_distance_lower_bound(g.cs.center);
+    g.inside = oracle.inside(g.cs.center);
+  }
+  return true;
+}
+
+/// Cache-or-compute for the core geometry of (c, gen); publishes on a miss.
+/// False when the slot was concurrently recycled (caller should treat the
+/// cell as dead).
+bool core_of(const DelaunayMesh& mesh, CellId c, std::uint32_t gen,
+             const IsosurfaceOracle& oracle, CellGeomCache* cache, int tid,
+             CellGeomCache::CoreView& g) {
+  if (cache != nullptr && cache->load(c, gen, g, tid)) return true;
+  if (!compute_core(mesh, c, gen, oracle, g)) return false;
+  if (cache != nullptr) cache->store(c, gen, g);
+  return true;
+}
+
+}  // namespace
+
 Classification classify_cell(const DelaunayMesh& mesh, CellId c,
                              const IsosurfaceOracle& oracle,
                              const SpatialHashGrid& iso_grid,
-                             const RefineRulesConfig& cfg) {
+                             const RefineRulesConfig& cfg,
+                             CellGeomCache* cache, int tid) {
   Classification out;
-  if (!mesh.cell_alive(c)) return out;
+  const std::uint32_t gen = mesh.cell_gen(c);
+  if ((gen & 1u) == 0) return out;  // not alive
 
   const Cell& cl = mesh.cell(c);
-  const auto pos = mesh.positions(c);
 
   // Cells spanned by box vertices only exist far outside the object until
   // the surface sample grows; they are still classified normally — their
   // circumballs intersect ∂O early on, which is exactly what bootstraps
   // surface recovery (paper Fig. 1b).
-  const Circumsphere cs = circumsphere(pos[0], pos[1], pos[2], pos[3]);
+  CellGeomCache::CoreView g;
+  if (!core_of(mesh, c, gen, oracle, cache, tid, g)) return out;
+  const Circumsphere& cs = g.cs;
   if (!cs.valid) return out;  // degenerate slivers are unrefinable directly
   const double r = std::sqrt(cs.radius2);
 
   // --- fidelity rules R1 / R2 -----------------------------------------
   // O(1) EDT prefilter first: most interior/exterior elements are nowhere
-  // near ∂O and skip the ray walk entirely.
-  const bool ball_may_hit = oracle.ball_may_intersect_surface(cs.center, r);
+  // near ∂O and skip the ray walk entirely. The cached lower bound makes
+  // this a comparison, not even an EDT grid fetch.
+  const bool ball_may_hit = g.surf_lb <= r;
   if (ball_may_hit) {
-    const auto zhat = oracle.closest_surface_point(cs.center);
+    std::optional<Vec3> zhat;
+    if (cache == nullptr || !cache->load_closest(c, gen, zhat, tid)) {
+      zhat = oracle.closest_surface_point(cs.center);
+      if (cache != nullptr) cache->store_closest(c, gen, zhat);
+    }
     if (zhat.has_value() && distance(cs.center, *zhat) <= r) {
       if (!iso_grid.any_within(*zhat, cfg.delta)) {
         out.rule = Rule::R1;
@@ -61,19 +107,23 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
   // --- boundary facet rule R3 ------------------------------------------
   for (int i = 0; i < 4; ++i) {
     const CellId nb = cl.n[i].load(std::memory_order_acquire);
-    if (nb == kNoCell || !mesh.cell_alive(nb)) continue;
-    const auto npos = mesh.positions(nb);
-    const Circumsphere ncs = circumsphere(npos[0], npos[1], npos[2], npos[3]);
+    if (nb == kNoCell) continue;
+    const std::uint32_t ngen = mesh.cell_gen(nb);
+    if ((ngen & 1u) == 0) continue;  // neighbour not alive
+    // The neighbour's core geometry comes from (or seeds) the same cache —
+    // an R3 scan used to recompute up to four neighbour circumspheres that
+    // the neighbours' own classifications had already derived.
+    CellGeomCache::CoreView ng;
+    if (!core_of(mesh, nb, ngen, oracle, cache, tid, ng)) continue;
+    const Circumsphere& ncs = ng.cs;
     if (!ncs.valid) continue;
     // Both circumcenters lie on the face's axis, so |c(t)c(nb)| <=
     // r(t)+r(nb) and the Voronoi edge V(f) is covered by the two
     // circumballs: it can only cross ∂O when one of them does.
-    if (!ball_may_hit &&
-        !oracle.ball_may_intersect_surface(ncs.center,
-                                           std::sqrt(ncs.radius2))) {
-      continue;
-    }
-    if (!oracle.segment_may_intersect_surface(cs.center, ncs.center)) continue;
+    if (!ball_may_hit && ng.surf_lb > std::sqrt(ncs.radius2)) continue;
+    // Segment prefilter from the two cached lower bounds (the inline
+    // segment_may_intersect_surface would re-fetch both EDT estimates).
+    if (g.surf_lb + ng.surf_lb > distance(cs.center, ncs.center)) continue;
     const auto hit = oracle.segment_surface_intersection(cs.center, ncs.center);
     if (!hit.has_value()) continue;
 
@@ -110,8 +160,11 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
   }
 
   // --- volume rules R4 / R5 ---------------------------------------------
-  if (!oracle.inside(cs.center)) return out;
+  // The inside-O test was resolved once per cell generation (compute_core)
+  // and rides along in the cached word — no label fetch here.
+  if (!g.inside) return out;
 
+  const auto pos = mesh.positions(c);
   const double shortest = shortest_edge(pos[0], pos[1], pos[2], pos[3]);
   if (shortest > 0.0 && r / shortest > cfg.rho_bound) {
     out.rule = Rule::R4;

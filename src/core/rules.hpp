@@ -18,6 +18,7 @@
 
 #include "core/sizing.hpp"
 #include "core/spatial_grid.hpp"
+#include "delaunay/geom_cache.hpp"
 #include "delaunay/mesh.hpp"
 #include "imaging/isosurface.hpp"
 
@@ -46,9 +47,18 @@ struct Classification {
 /// Safe to call without holding locks: positions are immutable, and a
 /// misclassification caused by concurrent restructuring at worst schedules
 /// an unnecessary (harmless) point or is re-checked at operation time.
+///
+/// With `cache` non-null the per-generation geometry (circumsphere, EDT
+/// lower bound, inside test, memoized closest surface point) is served from
+/// / published to the generation-tagged side arena, so pops, retries, and
+/// the R3 neighbour scan stop recomputing identical quantities. The parts
+/// that read mutable state (`iso_grid.any_within`) are always evaluated
+/// fresh, so caching never changes the classification result. `tid` only
+/// picks a padded hit/miss counter slot.
 Classification classify_cell(const DelaunayMesh& mesh, CellId c,
                              const IsosurfaceOracle& oracle,
                              const SpatialHashGrid& iso_grid,
-                             const RefineRulesConfig& cfg);
+                             const RefineRulesConfig& cfg,
+                             CellGeomCache* cache = nullptr, int tid = 0);
 
 }  // namespace pi2m

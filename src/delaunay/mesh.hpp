@@ -172,6 +172,10 @@ class DelaunayMesh {
   Cell& cell(CellId c) { return cells_[c]; }
   [[nodiscard]] const Cell& cell(CellId c) const { return cells_[c]; }
   [[nodiscard]] std::uint32_t cell_slot_count() const { return cells_.size(); }
+  /// Capacity of the cell arena. Side arenas indexed by CellId (e.g. the
+  /// generation-tagged geometry cache, delaunay/geom_cache.hpp) size
+  /// themselves to this so every slot id is addressable.
+  [[nodiscard]] std::size_t cell_capacity() const { return cells_.capacity(); }
 
   [[nodiscard]] bool cell_alive(CellId c) const {
     return (cells_[c].gen.load(std::memory_order_acquire) & 1u) != 0;

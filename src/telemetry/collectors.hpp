@@ -53,6 +53,17 @@ inline void collect_outcome(MetricsRegistry& r, const RefineOutcome& o) {
   r.set("rules.r3", o.rule_counts[3]);
   r.set("rules.r4", o.rule_counts[4]);
   r.set("rules.r5", o.rule_counts[5]);
+  // Geometry-cache effectiveness (all zero when RefinerOptions disabled it).
+  r.set("classify.cache.hits", o.classify_cache_hits);
+  r.set("classify.cache.misses", o.classify_cache_misses);
+  const double cache_total =
+      static_cast<double>(o.classify_cache_hits + o.classify_cache_misses);
+  r.set("classify.cache.hit_rate",
+        cache_total > 0.0 ? static_cast<double>(o.classify_cache_hits) /
+                                cache_total
+                          : 0.0);
+  r.set("classify.csp.hits", o.classify_csp_hits);
+  r.set("classify.csp.misses", o.classify_csp_misses);
 }
 
 inline void collect_predicates(MetricsRegistry& r,
