@@ -55,6 +55,16 @@ void usage() {
       "  --reference-walks       use the scalar-sampling oracle walks instead\n"
       "                          of the voxel-DDA traversal (A/B baseline)\n"
       "\n"
+      "scheduler:\n"
+      "  --topology auto|CxS     'auto' probes the host's real socket layout\n"
+      "                          (/sys); 'CxS' declares C cores/socket and S\n"
+      "                          sockets/blade, e.g. 8x2 (the default)\n"
+      "  --pin                   pin worker threads to cpus per the topology\n"
+      "  --mutex-scheduler       use the mutex begging lists instead of the\n"
+      "                          lock-free slot arrays (A/B baseline)\n"
+      "  --park-spin-us N        idle spin budget before a timed park\n"
+      "                          (default 50)\n"
+      "\n"
       "post-processing / output:\n"
       "  --smooth N              quality-guarded smoothing iterations\n"
       "  --out FILE              .vtk | .off | .mesh | .stl | .p2m (repeatable)\n"
@@ -87,6 +97,10 @@ struct Args {
   std::string lb = "hws";
   bool no_geom_cache = false;
   bool reference_walks = false;
+  std::string topology;  // "", "auto", or "CxS"
+  bool pin = false;
+  bool mutex_scheduler = false;
+  int park_spin_us = 50;
   int smooth = 0;
   std::vector<std::string> outs;
   std::string save_image;
@@ -140,6 +154,14 @@ std::optional<Args> parse(int argc, char** argv) {
       a.no_geom_cache = true;
     } else if (key == "--reference-walks") {
       a.reference_walks = true;
+    } else if (key == "--topology") {
+      a.topology = next();
+    } else if (key == "--pin") {
+      a.pin = true;
+    } else if (key == "--mutex-scheduler") {
+      a.mutex_scheduler = true;
+    } else if (key == "--park-spin-us") {
+      a.park_spin_us = std::atoi(next());
     } else if (key == "--smooth") {
       a.smooth = std::atoi(next());
     } else if (key == "--out") {
@@ -244,6 +266,25 @@ int main(int argc, char** argv) {
   opt.threads = args->threads;
   opt.use_geom_cache = !args->no_geom_cache;
   opt.use_reference_walks = args->reference_walks;
+  opt.pin = args->pin;
+  opt.mutex_scheduler = args->mutex_scheduler;
+  opt.park_spin_us = args->park_spin_us;
+  if (!args->topology.empty()) {
+    if (args->topology == "auto") {
+      opt.topology_auto = true;
+    } else {
+      // "CxS": C cores per socket, S sockets per blade.
+      int c = 0, s = 0;
+      if (std::sscanf(args->topology.c_str(), "%dx%d", &c, &s) != 2 ||
+          c < 1 || s < 1) {
+        std::fprintf(stderr, "bad --topology '%s' (want auto or CxS)\n",
+                     args->topology.c_str());
+        return 2;
+      }
+      opt.topology.cores_per_socket = c;
+      opt.topology.sockets_per_blade = s;
+    }
+  }
   if (args->uniform_size > 0) {
     opt.size_function = pi2m::sizing::uniform(args->uniform_size);
   }
@@ -429,6 +470,10 @@ int main(int argc, char** argv) {
       man.set_config("threads", args->threads);
       man.set_config("cm", args->cm);
       man.set_config("lb", args->lb);
+      man.set_config("scheduler",
+                     args->mutex_scheduler ? "mutex" : "lockfree");
+      if (!args->topology.empty()) man.set_config("topology", args->topology);
+      if (args->pin) man.set_config("pin", true);
       man.set_config("smooth", args->smooth);
       man.add_phase("edt", res.outcome.edt_sec);
       man.add_phase("refine", res.outcome.wall_sec);

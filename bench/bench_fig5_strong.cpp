@@ -4,12 +4,37 @@
 //   (b) inter-blade steal counts (HWS must show markedly fewer),
 //   (c) per-thread overhead breakdown for HWS.
 //
-//   ./bench_fig5_strong [grid_size=48] [delta=1.1] [max_threads=16]
+//   ./bench_fig5_strong [--manifest PATH] [grid_size=48] [delta=1.1]
+//                       [max_threads=16]
+//
+// With --manifest the largest HWS run's outcome (steal locality, park
+// counters, wall time) is written as a pi2m run manifest for CI smoke.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "telemetry/collectors.hpp"
+#include "telemetry/run_manifest.hpp"
 
 using namespace pi2m;
 
 int main(int argc, char** argv) {
+  // Strip --manifest before the positional [grid delta threads] parse.
+  std::string manifest_path;
+  std::vector<char*> pos;
+  pos.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (a.rfind("--manifest=", 0) == 0) {
+      manifest_path = a.substr(std::string("--manifest=").size());
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(pos.size());
+  argv = pos.data();
+
   const int n = argc > 1 ? std::atoi(argv[1]) : 56;
   const double delta = argc > 2 ? std::atof(argv[2]) : 1.0;
   const int max_threads = argc > 3 ? std::atoi(argv[3]) : 16;
@@ -92,5 +117,27 @@ int main(int argc, char** argv) {
                io::fmt_double(t.total_overhead_sec() * inv, 3)});
   }
   c.print();
+
+  if (!manifest_path.empty()) {
+    // Manifest of the largest HWS run (the scheduler's stress case).
+    const Run* best = nullptr;
+    for (const auto& r : runs) {
+      if (r.lb != LbKind::HWS) continue;
+      if (!best || r.threads > best->threads) best = &r;
+    }
+    if (!best) best = &runs.back();
+    telemetry::RunManifest man;
+    man.tool = "bench_fig5_strong";
+    man.config["phantom"] = "abdominal";
+    man.config["grid"] = std::to_string(n);
+    man.config["threads"] = std::to_string(best->threads);
+    man.config["lb"] = to_string(best->lb);
+    telemetry::collect_outcome(man.metrics, best->out);
+    if (!man.write(manifest_path)) {
+      std::fprintf(stderr, "failed to write %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", manifest_path.c_str());
+  }
   return 0;
 }

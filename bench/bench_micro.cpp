@@ -4,9 +4,12 @@
 // throughput, spatial grid operations, and vertex removal.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rules.hpp"
@@ -19,6 +22,9 @@
 #include "imaging/isosurface.hpp"
 #include "imaging/phantom.hpp"
 #include "predicates/predicates.hpp"
+#include "runtime/mpsc_inbox.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/workstealing.hpp"
 #include "telemetry/run_manifest.hpp"
 
 namespace {
@@ -298,6 +304,256 @@ void BM_LocalDelaunayBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalDelaunayBuild)->Arg(16)->Arg(32)->Arg(64);
+
+/// Same layout as the refiner's PelEntry: what one inbox hand-off moves.
+struct HandoffEntry {
+  std::uint32_t cell;
+  std::uint32_t gen;
+  bool near_surface;
+};
+
+constexpr std::size_t kHandoffBatch = 64;
+constexpr std::size_t kHandoffCapacity = 2048;
+
+std::vector<HandoffEntry> handoff_batch() {
+  std::vector<HandoffEntry> batch(kHandoffBatch);
+  for (std::size_t i = 0; i < kHandoffBatch; ++i) {
+    batch[i] = {static_cast<std::uint32_t>(i), 1, false};
+  }
+  return batch;
+}
+
+/// Shared state for the contended hand-off benches (thread 0 = beggar
+/// draining its inbox, thread 1 = giver publishing batches). Both sides
+/// bound the inbox at the same capacity; a full inbox makes the giver
+/// yield and retry a few times, then drop the batch (the refiner keeps
+/// the batch locally in that case).
+struct MutexInbox {
+  std::mutex m;
+  std::vector<HandoffEntry> inbox;
+};
+MutexInbox& mutex_inbox() {
+  static MutexInbox s;
+  return s;
+}
+MpscRing<HandoffEntry>& mpsc_inbox() {
+  static MpscRing<HandoffEntry> s(kHandoffCapacity);
+  return s;
+}
+
+void BM_InboxHandoffMutex(benchmark::State& state) {
+  // The pre-overhaul hand-off under real contention: giver locks and
+  // appends the batch while the beggar locks and swaps the vector out.
+  MutexInbox& s = mutex_inbox();
+  if (state.thread_index() == 0) {
+    std::vector<HandoffEntry> drained;
+    std::size_t n = 0;
+    for (auto _ : state) {
+      {
+        std::lock_guard<std::mutex> lk(s.m);
+        drained.clear();
+        drained.swap(s.inbox);
+      }
+      n += drained.size();
+      benchmark::DoNotOptimize(drained.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  } else {
+    const auto batch = handoff_batch();
+    for (auto _ : state) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        bool pushed = false;
+        {
+          std::lock_guard<std::mutex> lk(s.m);
+          if (s.inbox.size() + batch.size() <= kHandoffCapacity) {
+            s.inbox.insert(s.inbox.end(), batch.begin(), batch.end());
+            pushed = true;
+          }
+        }
+        if (pushed) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+BENCHMARK(BM_InboxHandoffMutex)->Threads(2)->UseRealTime();
+
+void BM_InboxHandoffMpsc(benchmark::State& state) {
+  // The lock-free hand-off under the same contention: one batched CAS
+  // publication by the giver, lock-free drain by the beggar.
+  MpscRing<HandoffEntry>& ring = mpsc_inbox();
+  if (state.thread_index() == 0) {
+    std::size_t n = 0;
+    for (auto _ : state) {
+      ring.drain([&](const HandoffEntry& e) {
+        ++n;
+        benchmark::DoNotOptimize(e.cell);
+      });
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+  } else {
+    const auto batch = handoff_batch();
+    for (auto _ : state) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        if (ring.try_push_batch(batch.data(), batch.size())) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+BENCHMARK(BM_InboxHandoffMpsc)->Threads(2)->UseRealTime();
+
+/// Poll-to-drain latency of one idle episode, as the begging thread
+/// experiences it: the beggar polls its empty inbox (the seed protocol
+/// locked the inbox mutex on EVERY poll iteration of the idle spin; the
+/// shipped ring polls with a relaxed empty() check), then a batch of 64
+/// arrives and is drained. 64 polls per episode is conservative — a real
+/// idle episode spins hundreds of iterations.
+template <typename PollFn, typename PushFn, typename DrainFn>
+void idle_episode(benchmark::State& state, PollFn&& poll, PushFn&& push,
+                  DrainFn&& drain) {
+  constexpr int kPolls = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kPolls; ++i) benchmark::DoNotOptimize(poll());
+    push();
+    benchmark::DoNotOptimize(drain());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHandoffBatch));
+}
+
+void BM_IdlePollDrainMutex(benchmark::State& state) {
+  const auto batch = handoff_batch();
+  std::mutex inbox_mutex;
+  std::vector<HandoffEntry> inbox;
+  std::vector<HandoffEntry> drained;
+  idle_episode(
+      state,
+      [&] {
+        std::lock_guard<std::mutex> lk(inbox_mutex);
+        return inbox.empty();
+      },
+      [&] {
+        std::lock_guard<std::mutex> lk(inbox_mutex);
+        for (const HandoffEntry& e : batch) inbox.push_back(e);
+      },
+      [&] {
+        std::lock_guard<std::mutex> lk(inbox_mutex);
+        drained.clear();
+        drained.swap(inbox);
+        return drained.size();
+      });
+}
+BENCHMARK(BM_IdlePollDrainMutex);
+
+void BM_IdlePollDrainMpsc(benchmark::State& state) {
+  const auto batch = handoff_batch();
+  MpscRing<HandoffEntry> ring(kHandoffCapacity);
+  std::vector<HandoffEntry> drained;
+  idle_episode(
+      state, [&] { return ring.empty(); },
+      [&] { ring.try_push_batch(batch.data(), batch.size()); },
+      [&] {
+        drained.clear();
+        ring.drain([&](const HandoffEntry& e) { drained.push_back(e); });
+        return drained.size();
+      });
+}
+BENCHMARK(BM_IdlePollDrainMpsc);
+
+/// One complete hand-off cycle on the work-distribution critical path, at
+/// realistic beggar occupancy (7 of 8 threads begging): giver pops the
+/// most local beggar and publishes a batch of 64 into its inbox; the
+/// beggar polls its inbox, drains it, cancels its begging registration and
+/// re-enqueues. The mutex variant replicates the seed protocol exactly
+/// (per-element push_back under the lock, empty-poll under the lock,
+/// O(n) deque-scan cancel); the lock-free variant is the shipped one.
+void BM_HandoffCycleMutex(benchmark::State& state) {
+  const Topology topo(8, {2, 2});
+  const auto lb = make_load_balancer(LbKind::HWS, topo, SchedulerImpl::Mutex);
+  for (int tid = 1; tid < 8; ++tid) lb->enqueue_beggar(tid);
+  const auto batch = handoff_batch();
+  std::mutex inbox_mutex;
+  std::vector<HandoffEntry> inbox;
+  std::vector<HandoffEntry> drained;
+  StealLevel level;
+  for (auto _ : state) {
+    const int beggar = lb->pop_beggar(0, &level);
+    {
+      std::lock_guard<std::mutex> lk(inbox_mutex);
+      for (const HandoffEntry& e : batch) inbox.push_back(e);
+    }
+    bool has_work = false;
+    {
+      std::lock_guard<std::mutex> lk(inbox_mutex);
+      has_work = !inbox.empty();
+    }
+    benchmark::DoNotOptimize(has_work);
+    {
+      std::lock_guard<std::mutex> lk(inbox_mutex);
+      drained.clear();
+      drained.swap(inbox);
+    }
+    benchmark::DoNotOptimize(drained.data());
+    lb->cancel(beggar);
+    lb->enqueue_beggar(beggar);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHandoffBatch));
+}
+BENCHMARK(BM_HandoffCycleMutex);
+
+void BM_HandoffCycleLockfree(benchmark::State& state) {
+  const Topology topo(8, {2, 2});
+  const auto lb =
+      make_load_balancer(LbKind::HWS, topo, SchedulerImpl::LockFree);
+  for (int tid = 1; tid < 8; ++tid) lb->enqueue_beggar(tid);
+  const auto batch = handoff_batch();
+  MpscRing<HandoffEntry> ring(kHandoffCapacity);
+  std::vector<HandoffEntry> drained;
+  StealLevel level;
+  for (auto _ : state) {
+    const int beggar = lb->pop_beggar(0, &level);
+    benchmark::DoNotOptimize(lb->still_begging(beggar));
+    ring.try_push_batch(batch.data(), batch.size());
+    benchmark::DoNotOptimize(ring.empty());
+    drained.clear();
+    ring.drain([&](const HandoffEntry& e) { drained.push_back(e); });
+    benchmark::DoNotOptimize(drained.data());
+    lb->cancel(beggar);
+    lb->enqueue_beggar(beggar);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHandoffBatch));
+}
+BENCHMARK(BM_HandoffCycleLockfree);
+
+void beggar_churn(benchmark::State& state, SchedulerImpl impl) {
+  // Single-thread churn through the HWS begging lists: the enqueue /
+  // pop / cancel cycle every idle episode pays. The virtual Blacklight
+  // topology (8 threads, 2 cores/socket, 2 sockets/blade) exercises all
+  // three levels.
+  const Topology topo(8, {2, 2});
+  const auto lb = make_load_balancer(LbKind::HWS, topo, impl);
+  StealLevel level;
+  for (auto _ : state) {
+    for (int tid = 1; tid < 8; ++tid) lb->enqueue_beggar(tid);
+    benchmark::DoNotOptimize(lb->pop_beggar(0, &level));
+    for (int tid = 1; tid < 8; ++tid) lb->cancel(tid);
+    benchmark::DoNotOptimize(lb->any_beggar());
+  }
+  state.SetItemsProcessed(state.iterations() * 7);
+}
+
+void BM_BeggarChurnMutex(benchmark::State& state) {
+  beggar_churn(state, SchedulerImpl::Mutex);
+}
+BENCHMARK(BM_BeggarChurnMutex);
+
+void BM_BeggarChurnLockfree(benchmark::State& state) {
+  beggar_churn(state, SchedulerImpl::LockFree);
+}
+BENCHMARK(BM_BeggarChurnLockfree);
 
 /// Console reporting plus a MetricsRegistry capture of every benchmark's
 /// per-iteration CPU time, for the --manifest run-manifest output.

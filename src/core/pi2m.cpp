@@ -76,6 +76,10 @@ RefinerOptions to_refiner_options(const MeshingOptions& opt) {
   r.watchdog_sec = opt.watchdog_sec;
   r.use_geom_cache = opt.use_geom_cache;
   r.use_reference_walks = opt.use_reference_walks;
+  r.pin = opt.pin;
+  r.topology_auto = opt.topology_auto;
+  r.mutex_scheduler = opt.mutex_scheduler;
+  r.park_spin_us = opt.park_spin_us;
   return r;
 }
 

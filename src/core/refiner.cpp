@@ -5,6 +5,7 @@
 #include "check/auditor.hpp"
 #include "check/oplog.hpp"
 #include "geometry/tetra.hpp"
+#include "runtime/affinity.hpp"
 #include "support/parallel_for.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -15,12 +16,30 @@ namespace {
 /// diagonal so that circumcenters of near-hull elements stay insertable.
 constexpr double kBoxMarginFrac = 0.15;
 
+/// Per-thread cell-arena bump block (see DelaunayMesh). Big enough to
+/// amortize the shared-counter CAS and keep a thread's fresh cells on its
+/// own cache lines; small enough that the tail stranded at termination is
+/// noise against the arena capacity.
+constexpr std::uint32_t kArenaBlock = 256;
+
+/// Timed-park duration. Parks double as the liveness backstop for the
+/// termination/done checks, so they must stay short.
+constexpr std::uint64_t kParkTimeoutUs = 1000;
+
+Topology make_topology(const RefinerOptions& opt) {
+  const int n = std::max(1, opt.threads);
+  if (opt.topology_auto) {
+    return Topology::from_probe(n, probe_host_topology());
+  }
+  return Topology(n, opt.topology);
+}
+
 }  // namespace
 
 Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
     : opt_(opt),
       img_(&img),
-      topo_(std::max(1, opt.threads), opt.topology),
+      topo_(make_topology(opt)),
       stats_(static_cast<std::size_t>(std::max(1, opt.threads))) {
   opt_.threads = std::max(1, opt_.threads);
   PI2M_CHECK(opt_.rules.delta > 0.0, "RefineRulesConfig::delta must be set");
@@ -38,7 +57,7 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
   const Aabb ib = img.bounds();
   const Aabb box = ib.inflated(kBoxMarginFrac * norm(ib.extent()));
   mesh_ = std::make_unique<DelaunayMesh>(box, opt_.max_vertices,
-                                         opt_.max_cells);
+                                         opt_.max_cells, kArenaBlock);
   if (opt_.use_geom_cache) {
     geom_cache_ = std::make_unique<CellGeomCache>(mesh_->cell_capacity());
   }
@@ -50,7 +69,9 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
   cc_grid_ = std::make_unique<SpatialHashGrid>(
       box, 2.0 * std::max(opt_.rules.removal_factor, 1.0) * delta);
 
-  lb_ = make_load_balancer(opt_.lb, topo_);
+  lb_ = make_load_balancer(opt_.lb, topo_,
+                           opt_.mutex_scheduler ? SchedulerImpl::Mutex
+                                                : SchedulerImpl::LockFree);
   CmContext cm_ctx;
   cm_ctx.done = &done_;
   cm_ctx.idle_threads = &idle_count_;
@@ -66,11 +87,13 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
 
 void Refiner::drain_inbox(int tid) {
   ThreadCtx& ctx = *ctxs_[tid];
-  std::lock_guard<std::mutex> lk(ctx.inbox_mutex);
-  for (const PelEntry& e : ctx.inbox) {
+  ctx.inbox.drain([&](const PelEntry& e) {
     (e.near_surface ? ctx.pel_surface : ctx.pel_volume).push_back(e);
-  }
-  ctx.inbox.clear();
+  });
+}
+
+void Refiner::wake_all_workers() {
+  for (auto& c : ctxs_) c->parker.unpark();
 }
 
 bool Refiner::tag_near_surface(const std::array<Vec3, 4>& p) const {
@@ -117,41 +140,46 @@ void Refiner::distribute_new_cells(int tid, const std::vector<CellId>& created) 
       lb_->any_beggar()) {
     StealLevel level{};
     const int beggar = lb_->pop_beggar(tid, &level);
-    if (beggar >= 0) {
-      switch (level) {
-        case StealLevel::IntraSocket:
-          st.steals_intra_socket.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case StealLevel::IntraBlade:
-          st.steals_intra_blade.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case StealLevel::InterBlade:
-          st.steals_inter_blade.fetch_add(1, std::memory_order_relaxed);
-          break;
-      }
-      switch (level) {
-        case StealLevel::IntraSocket:
-          telemetry::instant("steal.intra_socket", "lb", "to",
-                             static_cast<std::uint64_t>(beggar));
-          break;
-        case StealLevel::IntraBlade:
-          telemetry::instant("steal.intra_blade", "lb", "to",
-                             static_cast<std::uint64_t>(beggar));
-          break;
-        case StealLevel::InterBlade:
-          telemetry::instant("steal.inter_blade", "lb", "to",
-                             static_cast<std::uint64_t>(beggar));
-          break;
-      }
+    // still_begging guards the lost-wakeup window of the old protocol: a
+    // claimed beggar may already have left its idle loop (done flag, work
+    // from another giver); its begging token is cleared only by its own
+    // cancel, so a false here means "keep the batch locally". The residual
+    // race (token read true, beggar cancels, batch lands after its final
+    // drain) is benign: the giver raised outstanding_ before publishing, so
+    // termination cannot fire until the beggar's next drain_inbox.
+    if (beggar >= 0 && lb_->still_begging(beggar)) {
       ThreadCtx& bctx = *ctxs_[beggar];
-      {
-        std::lock_guard<std::mutex> lk(bctx.inbox_mutex);
-        for (const PelEntry& e : ctx.new_poor) bctx.inbox.push_back(e);
+      const auto n = static_cast<std::int64_t>(ctx.new_poor.size());
+      outstanding_.fetch_add(n, std::memory_order_acq_rel);
+      if (bctx.inbox.try_push_batch(ctx.new_poor.data(),
+                                    ctx.new_poor.size())) {
+        switch (level) {
+          case StealLevel::IntraSocket:
+            st.steals_intra_socket.fetch_add(1, std::memory_order_relaxed);
+            telemetry::instant("steal.intra_socket", "lb", "to",
+                               static_cast<std::uint64_t>(beggar));
+            break;
+          case StealLevel::IntraBlade:
+            st.steals_intra_blade.fetch_add(1, std::memory_order_relaxed);
+            telemetry::instant("steal.intra_blade", "lb", "to",
+                               static_cast<std::uint64_t>(beggar));
+            break;
+          case StealLevel::InterBlade:
+            st.steals_inter_blade.fetch_add(1, std::memory_order_relaxed);
+            telemetry::instant("steal.inter_blade", "lb", "to",
+                               static_cast<std::uint64_t>(beggar));
+            break;
+        }
+        lb_->work_flag(beggar).store(true, std::memory_order_release);
+        bctx.parker.unpark();
+        st.unparks_sent.fetch_add(1, std::memory_order_relaxed);
+        telemetry::instant("lb.unpark", "lb", "to",
+                           static_cast<std::uint64_t>(beggar));
+        return;
       }
-      outstanding_.fetch_add(static_cast<std::int64_t>(ctx.new_poor.size()),
-                             std::memory_order_acq_rel);
-      lb_->work_flag(beggar).store(true, std::memory_order_release);
-      return;
+      // Ring full (the beggar is drowning in hand-offs already): revert the
+      // accounting and keep the batch on our own PELs.
+      outstanding_.fetch_sub(n, std::memory_order_acq_rel);
     }
   }
   for (const PelEntry& e : ctx.new_poor) {
@@ -321,13 +349,15 @@ void Refiner::idle_protocol(int tid) {
   idle_count_.fetch_add(1, std::memory_order_acq_rel);
   lb_->enqueue_beggar(tid);
   std::atomic<bool>& flag = lb_->work_flag(tid);
+  // Adaptive idle policy: spin/yield for park_spin_us (work usually arrives
+  // within a few operations' latency), then fall back to timed parks. The
+  // park timeout bounds how stale the checks below can get even if an
+  // unpark is missed, so liveness never depends on the wake-up path alone.
+  const double spin_deadline = t0 + 1e-6 * opt_.park_spin_us;
   while (true) {
     if (flag.load(std::memory_order_acquire)) break;
     if (done_.load(std::memory_order_acquire)) break;
-    {
-      std::lock_guard<std::mutex> lk(ctx.inbox_mutex);
-      if (!ctx.inbox.empty()) break;
-    }
+    if (!ctx.inbox.empty()) break;
     // Global termination: everyone idle, nothing outstanding, nobody
     // blocked in a contention list.
     if (idle_count_.load(std::memory_order_acquire) == opt_.threads &&
@@ -335,9 +365,18 @@ void Refiner::idle_protocol(int tid) {
         cm_->blocked_count() == 0) {
       done_.store(true, std::memory_order_release);
       cm_->wake_all();
+      wake_all_workers();
       break;
     }
-    std::this_thread::yield();
+    if (now_sec() < spin_deadline) {
+      std::this_thread::yield();
+      continue;
+    }
+    telemetry::Span park_span("idle.park", "lb");
+    st.parks.fetch_add(1, std::memory_order_relaxed);
+    const double p0 = now_sec();
+    ctx.parker.park(kParkTimeoutUs);
+    st.add_parked(now_sec() - p0);
   }
   lb_->cancel(tid);
   flag.store(false, std::memory_order_release);
@@ -348,12 +387,18 @@ void Refiner::idle_protocol(int tid) {
 
 void Refiner::worker(int tid) {
   telemetry::set_thread_name("worker " + std::to_string(tid));
+  if (opt_.pin) {
+    // Best-effort: contiguous tid blocks land on the same package when the
+    // topology was host-probed (identity map otherwise).
+    pin_current_thread_to_cpu(topo_.cpu_of(tid));
+  }
   ThreadCtx& ctx = *ctxs_[tid];
   while (!done_.load(std::memory_order_acquire)) {
     if (successful_ops_.load(std::memory_order_relaxed) >= opt_.op_budget) {
       budget_exhausted_.store(true, std::memory_order_release);
       done_.store(true, std::memory_order_release);
       cm_->wake_all();
+      wake_all_workers();
       break;
     }
     if (!ctx.removals.empty()) {
@@ -401,6 +446,7 @@ void Refiner::monitor() {
       livelocked_.store(true, std::memory_order_release);
       done_.store(true, std::memory_order_release);
       cm_->wake_all();
+      wake_all_workers();
       break;
     }
     if (opt_.record_timeline && now >= next_sample) {

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +23,8 @@
 #include "delaunay/operations.hpp"
 #include "imaging/isosurface.hpp"
 #include "runtime/contention.hpp"
+#include "runtime/mpsc_inbox.hpp"
+#include "runtime/park.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/workstealing.hpp"
@@ -67,6 +68,22 @@ struct RefinerOptions {
   /// the workers join — the refinement-phase boundary, where the mesh is
   /// quiescent. Violations land in RefineOutcome::audit_errors.
   bool audit_final = false;
+
+  // ---- scheduler & memory locality (see DESIGN.md) ----
+  /// Pin worker thread `tid` to the cpu the topology maps it to
+  /// (sched_setaffinity on Linux; a no-op elsewhere). A failed pin is
+  /// silently ignored — it is a locality hint, not a correctness knob.
+  bool pin = false;
+  /// Probe /sys/devices/system/cpu for the real socket layout instead of
+  /// using the declared `topology` spec; also yields the cpu map --pin uses.
+  bool topology_auto = false;
+  /// Select the mutex+deque begging lists and mutex inbox era semantics
+  /// (SchedulerImpl::Mutex) instead of the lock-free slot arrays — the
+  /// escape hatch and the A/B baseline for BENCH_scheduler.json.
+  bool mutex_scheduler = false;
+  /// An idle thread spins/yields this long before each timed park. 0 parks
+  /// immediately; larger values trade wake-up latency for cpu.
+  int park_spin_us = 50;
 };
 
 struct RefineOutcome {
@@ -115,6 +132,11 @@ class Refiner {
     bool near_surface;  ///< scheduling tag (cheap EDT proxy, not semantic)
   };
 
+  /// Inbox ring capacity (entries). A hand-off batch is at most the cells
+  /// of one cavity refill (tens), so thousands of slots make ring-full a
+  /// cold path while keeping the ring ~48 KiB per thread.
+  static constexpr std::size_t kInboxCapacity = 2048;
+
   /// Cheap O(1) scheduling tag: true when the cell plausibly intersects
   /// the surface neighbourhood. Mis-tags only affect processing order.
   /// Takes the already-loaded vertex positions so the caller can share the
@@ -129,8 +151,13 @@ class Refiner {
     std::deque<PelEntry> pel_surface;
     std::deque<PelEntry> pel_volume;
     std::deque<VertexId> removals;
-    std::mutex inbox_mutex;
-    std::vector<PelEntry> inbox;
+    /// Lock-free hand-off target: givers publish whole batches with one
+    /// CAS reservation, this thread drains without taking a lock. A full
+    /// ring rejects the batch and the giver keeps it locally — the PELs
+    /// are unbounded, the transfer channel is not.
+    MpscRing<PelEntry> inbox{kInboxCapacity};
+    /// Futex/condvar parker for the idle protocol's timed parks.
+    ThreadParker parker;
     OpScratch scratch;
     OpScratch removal_scratch;
     std::vector<std::pair<Vec3, VertexId>> near_ccs;  // R6 query buffer
@@ -143,6 +170,9 @@ class Refiner {
   void distribute_new_cells(int tid, const std::vector<CellId>& created);
   void idle_protocol(int tid);
   void drain_inbox(int tid);
+  /// Unparks every worker. Every done_-setter must call this so no thread
+  /// sleeps out its park timeout before noticing termination.
+  void wake_all_workers();
   void monitor();
 
   RefinerOptions opt_;

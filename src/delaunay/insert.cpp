@@ -123,7 +123,8 @@ OpResult grow_and_commit(DelaunayMesh& mesh, const Vec3& p, VertexKind kind,
   // --- commit ---
   telemetry::Span commit_span("bw.commit", "op");
   commit_span.set_arg("cells", s.bfaces.size());
-  const VertexId pv = mesh.create_vertex(p, kind, tid);  // born locked
+  const VertexId pv =
+      mesh.create_vertex(p, kind, tid, s.vblock);  // born locked
   s.locked.push_back(pv);
 
   // Each cavity-boundary edge is shared by exactly two boundary faces, so

@@ -23,8 +23,12 @@ std::uint64_t acquire_epoch_block(std::uint64_t count) {
 }  // namespace detail
 
 DelaunayMesh::DelaunayMesh(const Aabb& box, std::size_t max_vertices,
-                           std::size_t max_cells)
-    : box_(box), vertices_(max_vertices), cells_(max_cells) {
+                           std::size_t max_cells, std::uint32_t arena_block)
+    : box_(box),
+      vertices_(max_vertices),
+      cells_(max_cells),
+      arena_block_(std::clamp<std::uint32_t>(
+          arena_block, 1, ChunkedStore<Cell>::kChunkSize)) {
   PI2M_CHECK(box.hi.x > box.lo.x && box.hi.y > box.lo.y && box.hi.z > box.lo.z,
              "virtual box must have positive extent");
   build_initial_box();
@@ -37,6 +41,27 @@ VertexId DelaunayMesh::create_vertex(const Vec3& pos, VertexKind kind,
   v.pos = pos;
   v.kind = kind;
   v.timestamp = next_timestamp_.fetch_add(1, std::memory_order_relaxed);
+  v.dead.store(false, std::memory_order_relaxed);
+  v.owner.store(tid, std::memory_order_release);
+  return id;
+}
+
+VertexId DelaunayMesh::create_vertex(const Vec3& pos, VertexKind kind, int tid,
+                                     VertexBlock& blk) {
+  if (blk.next == blk.end) {
+    // Vertex blocks refill at half the cell block size: operations create
+    // ~1 vertex but several cells.
+    const auto [first, granted] =
+        vertices_.allocate_block(std::max<std::uint32_t>(arena_block_ / 2, 1));
+    blk.next = first;
+    blk.end = first + granted;
+  }
+  const VertexId id = blk.next++;
+  Vertex& v = vertices_[id];
+  v.pos = pos;
+  v.kind = kind;
+  v.timestamp = next_timestamp_.fetch_add(1, std::memory_order_relaxed);
+  v.dead.store(false, std::memory_order_relaxed);
   v.owner.store(tid, std::memory_order_release);
   return id;
 }
@@ -65,10 +90,16 @@ void DelaunayMesh::unlock_vertex(VertexId vid, int tid) {
 CellId DelaunayMesh::allocate_cell(CellFreeList& fl) {
   CellId id;
   if (!fl.slots.empty()) {
+    // Recycle-first: slots this thread retired are hottest in its cache.
     id = fl.slots.back();
     fl.slots.pop_back();
+  } else if (fl.block_next != fl.block_end) {
+    id = fl.block_next++;
   } else {
-    id = cells_.allocate();
+    const auto [first, granted] = cells_.allocate_block(arena_block_);
+    id = first;
+    fl.block_next = first + 1;
+    fl.block_end = first + granted;
   }
   Cell& c = cells_[id];
   // even -> odd: alive. Release pairs with generation re-checks in readers.

@@ -23,10 +23,12 @@
 //  operations (paper §7), so the leaked slots are negligible).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "geometry/vec3.hpp"
@@ -53,7 +55,9 @@ struct Vertex {
   std::atomic<CellId> incident_hint{kNoCell};  ///< some cell touching this vertex
   std::uint32_t timestamp = 0;  ///< global creation order (removal re-insertion order)
   VertexKind kind = VertexKind::Box;
-  std::atomic<bool> dead{false};
+  /// Defaults to true so block-reserved arena slots that were never handed
+  /// out by create_vertex read as dead in live-vertex scans.
+  std::atomic<bool> dead{true};
 };
 
 struct Cell {
@@ -106,6 +110,28 @@ class ChunkedStore {
     return id;
   }
 
+  /// Reserves up to `want` contiguous elements in one shot (per-thread bump
+  /// blocks — see DESIGN.md "Scheduling & memory locality"). Returns {first
+  /// id, granted count}; the grant is clamped to the remaining capacity (a
+  /// CAS loop, so near-full arenas degrade to small grants instead of
+  /// tripping the capacity check for slots nobody would use). granted >= 1.
+  std::pair<std::uint32_t, std::uint32_t> allocate_block(std::uint32_t want) {
+    std::uint32_t cur = count_.load(std::memory_order_relaxed);
+    std::uint32_t grant;
+    do {
+      PI2M_CHECK(cur < max_elems_,
+                 "arena capacity exceeded (raise MeshingOptions limits)");
+      grant = static_cast<std::uint32_t>(
+          std::min<std::size_t>(want, max_elems_ - cur));
+    } while (!count_.compare_exchange_weak(cur, cur + grant,
+                                           std::memory_order_relaxed));
+    for (std::size_t ci = cur >> kChunkBits;
+         ci <= (cur + grant - 1) >> kChunkBits; ++ci) {
+      ensure_chunk(ci);
+    }
+    return {cur, grant};
+  }
+
   T& operator[](std::uint32_t id) {
     return chunk(id >> kChunkBits)[id & (kChunkSize - 1)];
   }
@@ -137,17 +163,33 @@ class ChunkedStore {
   std::size_t max_elems_;
 };
 
-/// Per-thread recycling pool for retired cell slots.
+/// Per-thread recycling pool for retired cell slots, plus a bump block of
+/// fresh slots reserved from the arena in batches (allocate_block). Both
+/// keep a thread's allocations contiguous and recycled by the thread that
+/// touched them last — the memory-locality half of the scheduler overhaul.
 struct CellFreeList {
   std::vector<CellId> slots;
+  CellId block_next = 0;  ///< next unused slot of the reserved block
+  CellId block_end = 0;   ///< one past the reserved block (0 = no block)
+};
+
+/// Per-thread bump block of reserved vertex slots (lives in OpScratch, one
+/// per worker). Reserved-unused slots stay flagged dead (see Vertex::dead).
+struct VertexBlock {
+  VertexId next = 0;
+  VertexId end = 0;  ///< one past the block; next == end => exhausted
 };
 
 class DelaunayMesh {
  public:
   /// Builds the virtual box enclosing `box`, triangulated into 6 tetrahedra
   /// (paper Fig. 1a) — the only sequential step of the algorithm.
+  /// `arena_block` is the per-thread bump-block size used by allocate_cell /
+  /// the block create_vertex overload; 1 (the default) reserves slots one at
+  /// a time, which is what direct constructions (tests, tools) want — the
+  /// refiner passes a larger block sized to its thread count.
   DelaunayMesh(const Aabb& box, std::size_t max_vertices,
-               std::size_t max_cells);
+               std::size_t max_cells, std::uint32_t arena_block = 1);
 
   [[nodiscard]] const Aabb& box() const { return box_; }
 
@@ -162,6 +204,10 @@ class DelaunayMesh {
   /// Creates a vertex (timestamped with the global creation counter) that is
   /// born locked by `tid`.
   VertexId create_vertex(const Vec3& pos, VertexKind kind, int tid);
+  /// Same, but drawing the slot from the caller's bump block (refilled from
+  /// the arena in arena_block-sized reservations).
+  VertexId create_vertex(const Vec3& pos, VertexKind kind, int tid,
+                         VertexBlock& blk);
 
   /// Try-lock. Succeeds immediately when `tid` already owns the vertex.
   /// On failure stores the observed owner in `held_by`.
@@ -229,6 +275,7 @@ class DelaunayMesh {
   ChunkedStore<Cell> cells_;
   std::array<VertexId, 8> box_vertices_{};
   std::atomic<std::uint32_t> next_timestamp_{0};
+  std::uint32_t arena_block_;
 };
 
 }  // namespace pi2m

@@ -74,6 +74,9 @@ struct OpScratch {
   /// Sorted boundary triple -> bface index during ball extraction (removal).
   GlueTable<std::array<int, 3>, int> triple_index;
   CellFreeList freelist;
+  /// Bump block of reserved vertex slots (mesh.create_vertex overload), so
+  /// vertices created by this thread are contiguous and first-touched here.
+  VertexBlock vblock;
 
   /// Epoch of the operation in flight; see Cell::mark.
   std::uint64_t epoch = 0;

@@ -1,0 +1,20 @@
+// Thread-to-core pinning (behind the --pin / MeshingOptions::pin gate).
+//
+// The paper's Blacklight runs pin one thread per core so the HWS locality
+// levels and the first-touch arena placement correspond to physical
+// sockets. This build targets arbitrary hosts: pinning is best-effort
+// (sched_setaffinity on Linux, a no-op returning false elsewhere) and the
+// virtual topology stays authoritative when pinning is unavailable.
+#pragma once
+
+namespace pi2m {
+
+/// Pins the calling thread to `cpu`. Returns false when the platform does
+/// not support affinity or the call fails (cpu offline, cgroup mask, ...).
+bool pin_current_thread_to_cpu(int cpu);
+
+/// Number of CPUs usable by this process (affinity-mask aware on Linux);
+/// falls back to std::thread::hardware_concurrency.
+int usable_cpu_count();
+
+}  // namespace pi2m

@@ -1,0 +1,118 @@
+// Bounded lock-free MPSC ring for work hand-off (paper §4.4).
+//
+// Replaces the mutex-guarded inbox vector in the refiner's ThreadCtx: any
+// giver thread publishes a *batch* of entries with one tail reservation
+// (single CAS) followed by per-slot release stores; the owning (beggar)
+// thread drains without taking any lock. The layout is a Vyukov-style
+// bounded queue specialised for one consumer:
+//
+//  * every slot carries a sequence word; slot (pos & mask) is writable by
+//    the producer owning position `pos` once its sequence equals `pos`,
+//    and readable by the consumer once it equals `pos + 1`;
+//  * producers reserve [t, t+n) with one CAS on `tail_` after checking
+//    `t + n - head_ <= capacity` — because `head_` only grows, the check
+//    stays valid after the CAS, so the reserved slots are guaranteed
+//    recycled (sequence already advanced) and the writer never waits;
+//  * the consumer bumps `head_` with a release store per element, which is
+//    what publishes the recycled slot back to producers.
+//
+// try_push_batch never blocks: a full ring returns false and the giver
+// keeps the batch (work is conserved, it just stays local). This bounds
+// memory and doubles as back-pressure against swamping one beggar.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace pi2m {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(static_cast<std::uint64_t>(i),
+                          std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer: publishes `items[0..n)` as one contiguous batch.
+  /// Returns false (ring unchanged) when fewer than `n` slots are free.
+  bool try_push_batch(const T* items, std::size_t n) {
+    if (n == 0) return true;
+    if (n > capacity()) return false;
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t h = head_.load(std::memory_order_acquire);
+      if (t + n - h > capacity()) return false;  // not enough free slots
+      if (tail_.compare_exchange_weak(t, t + n, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = slots_[(t + i) & mask_];
+      s.value = items[i];
+      // Publishes the value: the consumer's acquire load of seq pairs with
+      // this store.
+      s.seq.store(t + i + 1, std::memory_order_release);
+    }
+    return true;
+  }
+
+  bool try_push(const T& item) { return try_push_batch(&item, 1); }
+
+  /// Single consumer only: drains every currently-published entry into
+  /// `fn(const T&)`, in publication order per producer. Returns the count.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::size_t count = 0;
+    for (;;) {
+      Slot& s = slots_[h & mask_];
+      if (s.seq.load(std::memory_order_acquire) != h + 1) break;
+      fn(static_cast<const T&>(s.value));
+      // Recycle the slot for the producer `capacity` positions ahead.
+      s.seq.store(h + capacity(), std::memory_order_relaxed);
+      ++h;
+      // Release order publishes the recycled seq to producers that check
+      // occupancy via head_.
+      head_.store(h, std::memory_order_release);
+      ++count;
+    }
+    return count;
+  }
+
+  /// Consumer-side emptiness probe (safe for other threads as a hint).
+  [[nodiscard]] bool empty() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return slots_[h & mask_].seq.load(std::memory_order_acquire) != h + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer reservation
+};
+
+}  // namespace pi2m

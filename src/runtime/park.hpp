@@ -1,0 +1,59 @@
+// Per-thread parking for the adaptive idle policy (replaces raw spinning
+// on the begging-list work flag).
+//
+// A ThreadParker is an eventcount for exactly one sleeper: the owning
+// thread calls park(timeout); any other thread calls unpark(). The state
+// machine (Empty -> Parked -> Empty, with Notified absorbing early wakes)
+// guarantees no lost wake-up: an unpark() that races ahead of the matching
+// park() leaves a token that makes the park() return immediately.
+//
+// Parks are always *timed* — the refiner re-checks its idle invariants
+// (done flag, inbox, termination condition) on every wake, so a bounded
+// park doubles as a liveness backstop: even if every wake signal were
+// missed the system re-examines the world every timeout period.
+//
+// Implementation: a futex on the state word on Linux release builds; a
+// mutex + condition_variable everywhere else (non-Linux, and sanitizer
+// builds, where the raw syscall would be invisible to TSan's interceptors).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__) && !defined(PI2M_UNDER_SANITIZER)
+#define PI2M_PARK_FUTEX 1
+#else
+#define PI2M_PARK_FUTEX 0
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace pi2m {
+
+class alignas(64) ThreadParker {
+ public:
+  ThreadParker() = default;
+  ThreadParker(const ThreadParker&) = delete;
+  ThreadParker& operator=(const ThreadParker&) = delete;
+
+  /// Blocks the owning thread for at most `timeout_us` microseconds, or
+  /// until unpark(). Consumes a pending wake token and returns immediately
+  /// if unpark() already happened. Returns true when woken by unpark()
+  /// (possibly a token), false on timeout.
+  bool park(std::uint64_t timeout_us);
+
+  /// Wakes the owner if parked; otherwise leaves a token so the next
+  /// park() returns immediately. Any thread may call this.
+  void unpark();
+
+ private:
+  enum State : int { kEmpty = 0, kParked = 1, kNotified = 2 };
+
+  std::atomic<int> state_{kEmpty};
+#if !PI2M_PARK_FUTEX
+  std::mutex mutex_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace pi2m

@@ -14,6 +14,9 @@ StatsTotals aggregate(const std::vector<ThreadStats>& stats) {
     t.steals_intra_socket += s.steals_intra_socket.load(std::memory_order_relaxed);
     t.steals_intra_blade += s.steals_intra_blade.load(std::memory_order_relaxed);
     t.steals_inter_blade += s.steals_inter_blade.load(std::memory_order_relaxed);
+    t.parks += s.parks.load(std::memory_order_relaxed);
+    t.unparks += s.unparks_sent.load(std::memory_order_relaxed);
+    t.parked_sec += s.parked_ns.load(std::memory_order_relaxed) * 1e-9;
     t.contention_sec += s.contention_ns.load(std::memory_order_relaxed) * 1e-9;
     t.loadbalance_sec += s.loadbalance_ns.load(std::memory_order_relaxed) * 1e-9;
     t.rollback_sec += s.rollback_ns.load(std::memory_order_relaxed) * 1e-9;

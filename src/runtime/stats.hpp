@@ -38,6 +38,13 @@ struct alignas(64) ThreadStats {
   std::atomic<std::uint64_t> steals_intra_blade{0};
   std::atomic<std::uint64_t> steals_inter_blade{0};
 
+  // Idle-parking accounting. `parks` / `parked_ns` are written by the
+  // owning thread; `unparks_sent` counts wake-ups this thread *sent* to
+  // parked beggars (still single-writer: it lives in the sender's slot).
+  std::atomic<std::uint64_t> parks{0};
+  std::atomic<std::uint64_t> unparks_sent{0};
+  std::atomic<std::uint64_t> parked_ns{0};
+
   // Wasted-cycle accounting in nanoseconds (atomics for live sampling).
   std::atomic<std::uint64_t> contention_ns{0};
   std::atomic<std::uint64_t> loadbalance_ns{0};
@@ -55,6 +62,10 @@ struct alignas(64) ThreadStats {
     rollback_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
                           std::memory_order_relaxed);
   }
+  void add_parked(double sec) {
+    parked_ns.fetch_add(static_cast<std::uint64_t>(sec * 1e9),
+                        std::memory_order_relaxed);
+  }
 };
 
 /// Aggregated view over all threads (plain values).
@@ -68,6 +79,9 @@ struct StatsTotals {
   std::uint64_t steals_intra_socket = 0;
   std::uint64_t steals_intra_blade = 0;
   std::uint64_t steals_inter_blade = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t unparks = 0;
+  double parked_sec = 0;
   double contention_sec = 0;
   double loadbalance_sec = 0;
   double rollback_sec = 0;

@@ -13,16 +13,28 @@
 //    BL2 of their blade, then BL3, which keeps stolen work local and
 //    reduces inter-blade traffic (paper Fig. 5b).
 //
+// Two interchangeable implementations per scheme:
+//
+//  * SchedulerImpl::LockFree (default) — each level is a fixed-capacity
+//    array of atomic tid slots. The paper's occupancy caps
+//    (threads_per_socket-1 / sockets_per_blade-1 / one-per-blade) make the
+//    arrays small; a beggar claims an empty slot with one CAS, a giver
+//    claims a beggar with one CAS, and cancel is an O(levels) scan over
+//    the thread's own slots. Level capacities sum to threads_per_blade, so
+//    a begging thread always finds a slot in its own blade.
+//  * SchedulerImpl::Mutex — the original mutex + deque implementation,
+//    kept as an escape hatch (--mutex-scheduler) and as the A/B baseline
+//    for BENCH_scheduler.json.
+//
 // The actual blocking loop lives in the refiner (it must also watch its
 // inbox and the done flag); the balancer only manages membership, the
-// per-thread wake flags, and steal-locality classification.
+// per-thread wake flags, begging-state tokens, and steal-locality
+// classification.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "runtime/topology.hpp"
@@ -30,8 +42,10 @@
 namespace pi2m {
 
 enum class LbKind : std::uint8_t { RWS, HWS };
+enum class SchedulerImpl : std::uint8_t { LockFree, Mutex };
 
 const char* to_string(LbKind k);
+const char* to_string(SchedulerImpl s);
 
 /// Locality of a work transfer, measured against the virtual topology.
 enum class StealLevel : std::uint8_t { IntraSocket = 0, IntraBlade = 1, InterBlade = 2 };
@@ -41,18 +55,30 @@ class LoadBalancer {
   explicit LoadBalancer(const Topology& topo);
   virtual ~LoadBalancer() = default;
 
-  /// Registers `tid` as idle. The caller then spins on work_flag(tid).
+  /// Registers `tid` as idle. The caller then waits on work_flag(tid)
+  /// (spin / park — see the refiner's idle protocol).
   virtual void enqueue_beggar(int tid) = 0;
 
   /// Pops the most local beggar for `giver`; -1 when none. Fills `level`
   /// with the transfer locality.
   virtual int pop_beggar(int giver, StealLevel* level) = 0;
 
-  /// Removes `tid` from the lists if still present (idle loop aborted).
+  /// Removes `tid` from the lists if still present (idle loop aborted) and
+  /// clears its begging token.
   virtual void cancel(int tid) = 0;
 
   /// True while any thread is registered as begging.
   [[nodiscard]] virtual bool any_beggar() const = 0;
+
+  /// True from enqueue_beggar(tid) until that thread's own cancel(tid) —
+  /// popping a beggar does NOT clear it. A giver that claimed `tid` via
+  /// pop_beggar checks this before handing work: false means the beggar
+  /// already left its idle loop (done flag, work from another giver), so
+  /// the giver keeps the batch instead of stranding it (the lost-wakeup
+  /// window of the old protocol).
+  [[nodiscard]] bool still_begging(int tid) const {
+    return begging_[tid].flag.load(std::memory_order_acquire);
+  }
 
   /// Set by the giver after filling the beggar's inbox; cleared by the
   /// beggar on wake-up.
@@ -62,6 +88,12 @@ class LoadBalancer {
 
  protected:
   [[nodiscard]] StealLevel classify(int giver, int beggar) const;
+  void mark_begging(int tid) {
+    begging_[tid].flag.store(true, std::memory_order_release);
+  }
+  void clear_begging(int tid) {
+    begging_[tid].flag.store(false, std::memory_order_release);
+  }
 
   Topology topo_;
 
@@ -70,9 +102,11 @@ class LoadBalancer {
     std::atomic<bool> flag{false};
   };
   std::vector<Flag> flags_;
+  std::vector<Flag> begging_;
 };
 
-std::unique_ptr<LoadBalancer> make_load_balancer(LbKind kind,
-                                                 const Topology& topo);
+std::unique_ptr<LoadBalancer> make_load_balancer(
+    LbKind kind, const Topology& topo,
+    SchedulerImpl impl = SchedulerImpl::LockFree);
 
 }  // namespace pi2m

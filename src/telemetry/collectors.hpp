@@ -31,6 +31,9 @@ inline void collect_stats(MetricsRegistry& r, const StatsTotals& t) {
   r.set("refine.steals_intra_blade", t.steals_intra_blade);
   r.set("refine.steals_inter_blade", t.steals_inter_blade);
   r.set("refine.steals_total", t.total_steals());
+  r.set("refine.parks", t.parks);
+  r.set("refine.unparks", t.unparks);
+  r.set("refine.parked_sec", t.parked_sec);
   r.set("refine.contention_sec", t.contention_sec);
   r.set("refine.loadbalance_sec", t.loadbalance_sec);
   r.set("refine.rollback_sec", t.rollback_sec);

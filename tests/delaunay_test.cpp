@@ -68,6 +68,70 @@ TEST(ChunkedStore, ConcurrentAllocation) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(counts[t], kPer);
 }
 
+TEST(ChunkedStore, BlockAllocationDisjointAndClamped) {
+  ChunkedStore<int> store(100);
+  const auto [a_first, a_n] = store.allocate_block(32);
+  const auto [b_first, b_n] = store.allocate_block(32);
+  EXPECT_EQ(a_n, 32u);
+  EXPECT_EQ(b_n, 32u);
+  // Blocks are disjoint, contiguous ranges.
+  EXPECT_TRUE(a_first + a_n <= b_first || b_first + b_n <= a_first);
+  for (std::uint32_t i = 0; i < a_n; ++i) store[a_first + i] = 1;
+  for (std::uint32_t i = 0; i < b_n; ++i) store[b_first + i] = 2;
+  // Near capacity the grant clamps instead of tripping the capacity check.
+  const auto [c_first, c_n] = store.allocate_block(64);
+  EXPECT_EQ(c_n, 100u - 64u);
+  EXPECT_EQ(c_first, 64u);
+  EXPECT_EQ(store.size(), 100u);
+}
+
+TEST(ChunkedStore, ConcurrentBlockAllocationDisjoint) {
+  ChunkedStore<std::uint32_t> store(1 << 18);
+  constexpr int kThreads = 4, kBlocks = 500;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&store, t] {
+      for (int i = 0; i < kBlocks; ++i) {
+        const auto [first, n] = store.allocate_block(64);
+        for (std::uint32_t j = 0; j < n; ++j) {
+          store[first + j] = static_cast<std::uint32_t>(t) + 1;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  // Every slot was granted to exactly one thread's block.
+  EXPECT_EQ(store.size(), kThreads * kBlocks * 64u);
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    ASSERT_NE(store[i], 0u) << "slot " << i << " granted twice or never";
+  }
+}
+
+TEST(Mesh, ArenaBlockModePreservesProtocols) {
+  // A mesh with a large arena block must behave identically: reserved-
+  // unused cell slots read dead (gen 0), reserved-unused vertex slots read
+  // dead, and insertion through the block-create path yields a live vertex.
+  DelaunayMesh mesh(unit_box(), 2000, 2000, /*arena_block=*/128);
+  EXPECT_EQ(mesh.count_alive_cells(), 6u);
+  EXPECT_EQ(mesh.check_integrity(/*check_delaunay=*/false), "");
+
+  OpScratch s;
+  const OpResult r =
+      insert_point(mesh, {0.5, 0.5, 0.5}, VertexKind::Circumcenter, 0, 0, s);
+  ASSERT_EQ(r.status, OpStatus::Success);
+  for (VertexId v : s.locked) mesh.unlock_vertex(v, 0);
+  EXPECT_FALSE(mesh.vertex(r.new_vertex).dead.load());
+  EXPECT_EQ(mesh.check_integrity(true), "");
+  EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-12);
+  // The vertex block reserved slots ahead of use; they must not count as
+  // live vertices (dead defaults true until create_vertex hands them out).
+  std::size_t live = 0;
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    if (!mesh.vertex(v).dead.load()) ++live;
+  }
+  EXPECT_EQ(live, 9u);  // 8 box corners + 1 inserted
+}
+
 TEST(Locate, FindsContainingCell) {
   DelaunayMesh mesh(unit_box(), 1000, 1000);
   std::mt19937 rng(1);

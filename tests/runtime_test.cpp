@@ -1,11 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/sizing.hpp"
 #include "core/spatial_grid.hpp"
 #include "runtime/contention.hpp"
+#include "runtime/mpsc_inbox.hpp"
+#include "runtime/park.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/workstealing.hpp"
@@ -37,6 +47,70 @@ TEST(Topology, PartialLastSocket) {
   const Topology t(10, {4, 2});
   EXPECT_EQ(t.num_sockets(), 3);
   EXPECT_EQ(t.num_blades(), 2);
+}
+
+// --- host topology probe --------------------------------------------------
+
+/// Builds a fake /sys/devices/system/cpu tree: cpus[i] belongs to
+/// packages[i].
+std::string make_fake_sysfs(const std::vector<int>& packages) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(testing::TempDir()) /
+      ("pi2m_sysfs_" + std::to_string(::getpid()) + "_" +
+       std::to_string(packages.size()));
+  fs::remove_all(root);
+  for (std::size_t cpu = 0; cpu < packages.size(); ++cpu) {
+    const fs::path topo = root / ("cpu" + std::to_string(cpu)) / "topology";
+    fs::create_directories(topo);
+    std::ofstream(topo / "physical_package_id") << packages[cpu] << "\n";
+  }
+  return root.string();
+}
+
+TEST(TopologyProbe, TwoPackageHost) {
+  // 8 cpus, packages interleaved the way real hosts number HT siblings.
+  const std::string root = make_fake_sysfs({0, 0, 0, 0, 1, 1, 1, 1});
+  const HostProbe probe = probe_host_topology(root);
+  ASSERT_TRUE(probe.ok);
+  EXPECT_EQ(probe.spec.cores_per_socket, 4);
+  EXPECT_EQ(probe.spec.sockets_per_blade, 2);
+  // cpus grouped package-by-package so contiguous tids share a package.
+  ASSERT_EQ(probe.cpus.size(), 8u);
+  EXPECT_EQ(probe.cpus, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+
+  const Topology topo = Topology::from_probe(8, probe);
+  EXPECT_TRUE(topo.host_probed());
+  EXPECT_EQ(topo.threads_per_socket(), 4);
+  EXPECT_TRUE(topo.same_socket(0, 3));
+  EXPECT_FALSE(topo.same_socket(3, 4));
+  EXPECT_EQ(topo.cpu_of(0), 0);
+  EXPECT_EQ(topo.cpu_of(7), 7);
+  std::filesystem::remove_all(root);
+}
+
+TEST(TopologyProbe, InterleavedPackageIds) {
+  // Package ids alternate per cpu (common BIOS numbering): the probe must
+  // still group the cpu map so tid blocks land on one package.
+  const std::string root = make_fake_sysfs({0, 1, 0, 1});
+  const HostProbe probe = probe_host_topology(root);
+  ASSERT_TRUE(probe.ok);
+  EXPECT_EQ(probe.spec.cores_per_socket, 2);
+  EXPECT_EQ(probe.spec.sockets_per_blade, 2);
+  EXPECT_EQ(probe.cpus, (std::vector<int>{0, 2, 1, 3}));
+  std::filesystem::remove_all(root);
+}
+
+TEST(TopologyProbe, MissingSysfsFallsBack) {
+  const HostProbe probe =
+      probe_host_topology("/nonexistent/pi2m/sysfs/here");
+  EXPECT_FALSE(probe.ok);
+  // from_probe degrades to the declared Blacklight-style spec with an
+  // identity cpu map.
+  const Topology topo = Topology::from_probe(4, probe);
+  EXPECT_FALSE(topo.host_probed());
+  EXPECT_EQ(topo.threads_per_socket(), 8);
+  EXPECT_EQ(topo.cpu_of(3), 3);
 }
 
 // --- contention managers ------------------------------------------------
@@ -228,6 +302,234 @@ TEST(LoadBalancer, WorkFlagsHandshake) {
   EXPECT_TRUE(lb->work_flag(1).load());
 }
 
+// Both implementations must satisfy the same begging-list contract; the
+// remaining suites parametrize over the impl.
+class LoadBalancerImpl : public ::testing::TestWithParam<SchedulerImpl> {};
+
+TEST_P(LoadBalancerImpl, RwsFifoSemantics) {
+  const Topology topo(4, {2, 2});
+  auto lb = make_load_balancer(LbKind::RWS, topo, GetParam());
+  lb->enqueue_beggar(2);
+  lb->enqueue_beggar(3);
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 2);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 3);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);
+}
+
+TEST_P(LoadBalancerImpl, HwsLocalityOrder) {
+  // The HWS invariant: a giver always serves its own socket's BL1 first,
+  // then its blade's BL2, then BL3 — regardless of begging order.
+  const Topology topo(8, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo, GetParam());
+  StealLevel lvl{};
+  lb->enqueue_beggar(7);  // BL1 socket 3 — invisible to giver 0
+  lb->enqueue_beggar(3);  // BL1 socket 1 — invisible to giver 0
+  lb->enqueue_beggar(2);  // BL1[1] full -> BL2 blade 0
+  lb->enqueue_beggar(1);  // BL1 socket 0 — giver 0's own socket
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 1);
+  EXPECT_EQ(lvl, StealLevel::IntraSocket);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 2);
+  EXPECT_EQ(lvl, StealLevel::IntraBlade);
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);  // 3 and 7 stay socket-local
+  EXPECT_EQ(lb->pop_beggar(6, &lvl), 7);
+  EXPECT_EQ(lvl, StealLevel::IntraSocket);
+}
+
+TEST_P(LoadBalancerImpl, StillBeggingToken) {
+  // The lost-wakeup contract: the token is set by enqueue, survives
+  // pop_beggar, and is cleared only by the beggar's own cancel.
+  const Topology topo(4, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo, GetParam());
+  EXPECT_FALSE(lb->still_begging(1));
+  lb->enqueue_beggar(1);
+  EXPECT_TRUE(lb->still_begging(1));
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), 1);
+  EXPECT_TRUE(lb->still_begging(1)) << "pop must not clear the token";
+  lb->cancel(1);
+  EXPECT_FALSE(lb->still_begging(1));
+}
+
+TEST_P(LoadBalancerImpl, ConcurrentEnqueuePopCancelStress) {
+  // Beggars enqueue/cancel while givers pop. Invariants checked: a beggar
+  // is never handed out twice per enqueue (claim counter), and the list
+  // drains to empty at the end.
+  const Topology topo(8, {2, 2});
+  auto lb = make_load_balancer(LbKind::HWS, topo, GetParam());
+  constexpr int kBeggars = 6, kRounds = 2000;
+  std::array<std::atomic<int>, kBeggars> claimed{};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> pool;
+  for (int b = 0; b < kBeggars; ++b) {
+    pool.emplace_back([&, b] {
+      for (int r = 0; r < kRounds; ++r) {
+        lb->enqueue_beggar(b);
+        claimed[b].fetch_add(1);  // one claim budget per enqueue
+        if ((r & 3) == 0) std::this_thread::yield();
+        lb->cancel(b);  // also consumes the budget if nobody popped us
+      }
+    });
+  }
+  std::array<std::atomic<int>, kBeggars> popped{};
+  for (int g = 6; g < 8; ++g) {
+    pool.emplace_back([&, g] {
+      StealLevel lvl{};
+      while (!stop.load(std::memory_order_acquire)) {
+        const int b = lb->pop_beggar(g, &lvl);
+        if (b >= 0) {
+          ASSERT_LT(b, kBeggars);
+          popped[b].fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int b = 0; b < kBeggars; ++b) pool[b].join();
+  stop.store(true, std::memory_order_release);
+  for (std::size_t g = kBeggars; g < pool.size(); ++g) pool[g].join();
+
+  for (int b = 0; b < kBeggars; ++b) {
+    // Each enqueue can be consumed at most once (by a pop or the cancel).
+    EXPECT_LE(popped[b].load(), claimed[b].load());
+  }
+  // Everyone cancelled on exit: the lists must be empty and every token
+  // cleared.
+  StealLevel lvl{};
+  EXPECT_EQ(lb->pop_beggar(0, &lvl), -1);
+  EXPECT_FALSE(lb->any_beggar());
+  for (int b = 0; b < kBeggars; ++b) EXPECT_FALSE(lb->still_begging(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, LoadBalancerImpl,
+                         ::testing::Values(SchedulerImpl::LockFree,
+                                           SchedulerImpl::Mutex),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- MPSC inbox ring ------------------------------------------------------
+
+TEST(MpscRing, BatchPushDrainOrder) {
+  MpscRing<int> ring(8);
+  const int batch[3] = {10, 11, 12};
+  ASSERT_TRUE(ring.try_push_batch(batch, 3));
+  ASSERT_TRUE(ring.try_push(13));
+  std::vector<int> got;
+  EXPECT_EQ(ring.drain([&](const int& v) { got.push_back(v); }), 4u);
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12, 13}));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, FullRejectsBatchWithoutPartialPublish) {
+  MpscRing<int> ring(4);
+  const int a[3] = {1, 2, 3};
+  ASSERT_TRUE(ring.try_push_batch(a, 3));
+  const int b[2] = {4, 5};
+  EXPECT_FALSE(ring.try_push_batch(b, 2)) << "only 1 slot left";
+  ASSERT_TRUE(ring.try_push(4));
+  EXPECT_FALSE(ring.try_push(5));
+  std::vector<int> got;
+  ring.drain([&](const int& v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+  // Slots recycle after the drain.
+  EXPECT_TRUE(ring.try_push_batch(a, 3));
+}
+
+class MpscRingProducers : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpscRingProducers, ConcurrentBatchesKeepPerProducerFifo) {
+  const int kProducers = GetParam();
+  constexpr int kPerProducer = 4000;
+  constexpr int kBatch = 8;
+  MpscRing<std::uint32_t> ring(256);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint32_t batch[kBatch];
+      for (int i = 0; i < kPerProducer; i += kBatch) {
+        for (int j = 0; j < kBatch; ++j) {
+          // value = producer id in the high bits, sequence in the low.
+          batch[j] = (static_cast<std::uint32_t>(p) << 24) |
+                     static_cast<std::uint32_t>(i + j);
+        }
+        while (!ring.try_push_batch(batch, kBatch)) {
+          std::this_thread::yield();  // consumer will free slots
+        }
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next(static_cast<std::size_t>(kProducers), 0);
+  std::uint64_t total = 0;
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  while (total < want) {
+    total += ring.drain([&](const std::uint32_t& v) {
+      const std::uint32_t p = v >> 24;
+      const std::uint32_t seq = v & 0xFFFFFFu;
+      // A producer's elements arrive in its publication order.
+      ASSERT_EQ(seq, next[p]);
+      next[p] = seq + 1;
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(total, want);
+  EXPECT_TRUE(ring.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanin, MpscRingProducers,
+                         ::testing::Values(1, 2, 4));
+
+// --- thread parker --------------------------------------------------------
+
+TEST(ThreadParker, UnparkBeforeParkIsNotLost) {
+  ThreadParker p;
+  p.unpark();               // token stored
+  EXPECT_TRUE(p.park(0));   // consumed without blocking
+}
+
+TEST(ThreadParker, TimedParkReturnsOnTimeout) {
+  ThreadParker p;
+  const double t0 = now_sec();
+  EXPECT_FALSE(p.park(2000));  // 2ms, nobody unparks
+  EXPECT_LT(now_sec() - t0, 2.0) << "park must not hang";
+}
+
+TEST(ThreadParker, NoLostWakeupUnderHandoffRaces) {
+  // The refiner's pattern: consumer checks a flag, parks if clear; producer
+  // sets the flag then unparks. Whatever the interleaving, the consumer
+  // must observe the flag without waiting out a full timeout each round.
+  ThreadParker parker;
+  std::atomic<bool> flag{false};
+  std::atomic<bool> stop{false};
+  constexpr int kRounds = 2000;
+
+  std::thread consumer([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      while (!flag.load(std::memory_order_acquire)) {
+        parker.park(/*timeout_us=*/100000);
+        if (stop.load(std::memory_order_acquire)) return;
+      }
+      flag.store(false, std::memory_order_release);
+    }
+  });
+  std::thread producer([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      flag.store(true, std::memory_order_release);
+      parker.unpark();
+      while (flag.load(std::memory_order_acquire)) std::this_thread::yield();
+    }
+  });
+
+  const double deadline = now_sec() + 30.0;
+  producer.join();
+  consumer.join();
+  EXPECT_LT(now_sec(), deadline) << "hand-off latency collapsed to timeouts";
+  stop.store(true);
+}
+
 // --- spatial grid ---------------------------------------------------------
 
 TEST(SpatialGrid, InsertQueryRemove) {
@@ -319,6 +621,9 @@ TEST(Stats, CollectorMatchesAggregateTotals) {
     s.steals_intra_socket = 4 * k;
     s.steals_intra_blade = 2 * k;
     s.steals_inter_blade = k;
+    s.parks = 6 * k;
+    s.unparks_sent = 5 * k;
+    s.add_parked(0.5 * static_cast<double>(k));
     s.add_contention(0.25 * static_cast<double>(k));
     s.add_loadbalance(0.125 * static_cast<double>(k));
     s.add_rollback_time(0.0625 * static_cast<double>(k));
@@ -339,6 +644,9 @@ TEST(Stats, CollectorMatchesAggregateTotals) {
   EXPECT_EQ(reg.u64("refine.steals_intra_blade"), totals.steals_intra_blade);
   EXPECT_EQ(reg.u64("refine.steals_inter_blade"), totals.steals_inter_blade);
   EXPECT_EQ(reg.u64("refine.steals_total"), totals.total_steals());
+  EXPECT_EQ(reg.u64("refine.parks"), totals.parks);
+  EXPECT_EQ(reg.u64("refine.unparks"), totals.unparks);
+  EXPECT_DOUBLE_EQ(reg.f64("refine.parked_sec"), totals.parked_sec);
   EXPECT_DOUBLE_EQ(reg.f64("refine.contention_sec"), totals.contention_sec);
   EXPECT_DOUBLE_EQ(reg.f64("refine.loadbalance_sec"),
                    totals.loadbalance_sec);
@@ -349,6 +657,8 @@ TEST(Stats, CollectorMatchesAggregateTotals) {
   // Spot-check against hand-computed sums (1+2+3 = 6 multipliers).
   EXPECT_EQ(reg.u64("refine.operations"), 600u);
   EXPECT_EQ(reg.u64("refine.steals_total"), 42u);
+  EXPECT_EQ(reg.u64("refine.parks"), 36u);
+  EXPECT_NEAR(reg.f64("refine.parked_sec"), 3.0, 1e-6);
   EXPECT_NEAR(reg.f64("refine.contention_sec"), 1.5, 1e-6);
 }
 

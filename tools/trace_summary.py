@@ -32,17 +32,24 @@ def summarize(doc):
     """Reduce one trace document to a flat {section: {name: value}} dict."""
     spans = defaultdict(lambda: [0, 0.0])  # name -> [count, total_us]
     instants = defaultdict(int)            # name -> count
+    parks = defaultdict(lambda: [0, 0.0])  # tid -> [count, total_us]
     threads = set()
+    tid_names = {}
     for ev in doc["traceEvents"]:
         ph = ev.get("ph")
         if ph == "X":
             agg = spans[ev["name"]]
             agg[0] += 1
             agg[1] += ev.get("dur", 0.0)
+            if ev["name"] == "idle.park":
+                agg = parks[ev.get("tid", 0)]
+                agg[0] += 1
+                agg[1] += ev.get("dur", 0.0)
         elif ph == "i":
             instants[ev["name"]] += 1
         elif ph == "M" and ev.get("name") == "thread_name":
             threads.add(ev["args"]["name"])
+            tid_names[ev.get("tid", 0)] = ev["args"]["name"]
 
     s = {}
     s["lanes"] = {"threads": ", ".join(sorted(threads)) or "(unnamed)"}
@@ -84,6 +91,17 @@ def summarize(doc):
             steals[n[len("steal."):]] = (
                 f"{c} ({100.0 * c / total_steals:.1f}%)")
     s["steals"] = steals
+
+    # Adaptive idle policy: timed parks per worker thread, plus the wakeup
+    # traffic (lb.unpark = giver-side unparks after a batch publication).
+    parking = {"unparks sent": str(instants.get("lb.unpark", 0))}
+    for tid in sorted(parks):
+        count, total = parks[tid]
+        mean_us = total / count if count else 0.0
+        lane = tid_names.get(tid, f"tid {tid}")
+        parking[lane] = (
+            f"{count:>6} parks x {mean_us:8.1f} us  ({total / 1e6:.3f} s)")
+    s["parking (per thread)"] = parking
 
     other = doc.get("otherData", {})
     s["trace"] = {
