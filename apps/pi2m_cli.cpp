@@ -4,6 +4,10 @@
 // phantom) into a quality tetrahedral mesh, with the full set of paper
 // knobs exposed.
 //
+// The pipeline itself (load -> EDT -> refine -> extract -> smooth ->
+// reports) lives in pipeline/mesh_job.hpp, shared with the serving daemon
+// (apps/pi2m_serve.cpp); this file is flag parsing and console output.
+//
 // Examples:
 //   pi2m --input brain.mha --delta 1.0 --threads 8 --out mesh.vtk
 //   pi2m --phantom abdominal --size 96 --delta 0.8 --out abd.mesh
@@ -15,18 +19,8 @@
 #include <optional>
 #include <string>
 
-#include "core/pi2m.hpp"
-#include "core/smoothing.hpp"
-#include "core/validate.hpp"
-#include "imaging/phantom.hpp"
-#include "imaging/resample.hpp"
 #include "io/image_io.hpp"
-#include "io/mesh_serialize.hpp"
-#include "io/writers.hpp"
-#include "metrics/hausdorff.hpp"
-#include "metrics/quality.hpp"
-#include "telemetry/collectors.hpp"
-#include "telemetry/run_manifest.hpp"
+#include "pipeline/mesh_job.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -83,26 +77,7 @@ void usage() {
 }
 
 struct Args {
-  std::string input;
-  std::string phantom;
-  int size = 64;
-  int downsample_factor = 1;
-  int crop_pad = -1;
-  double delta = 1.0;
-  double rho = 2.0;
-  double facet_angle = 30.0;
-  double uniform_size = 0.0;
-  int threads = 1;
-  std::string cm = "local";
-  std::string lb = "hws";
-  bool no_geom_cache = false;
-  bool reference_walks = false;
-  std::string topology;  // "", "auto", or "CxS"
-  bool pin = false;
-  bool mutex_scheduler = false;
-  int park_spin_us = 50;
-  int smooth = 0;
-  std::vector<std::string> outs;
+  pi2m::JobSpec spec;
   std::string save_image;
   bool report = false;
   bool stats = false;
@@ -114,6 +89,7 @@ struct Args {
 
 std::optional<Args> parse(int argc, char** argv) {
   Args a;
+  pi2m::JobSpec& s = a.spec;
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     auto next = [&]() -> const char* {
@@ -127,45 +103,72 @@ std::optional<Args> parse(int argc, char** argv) {
       usage();
       std::exit(0);
     } else if (key == "--input") {
-      a.input = next();
+      s.input_path = next();
     } else if (key == "--phantom") {
-      a.phantom = next();
+      s.phantom = next();
     } else if (key == "--size") {
-      a.size = std::atoi(next());
+      s.phantom_size = std::atoi(next());
     } else if (key == "--downsample") {
-      a.downsample_factor = std::atoi(next());
+      s.downsample = std::atoi(next());
     } else if (key == "--crop-foreground") {
-      a.crop_pad = std::atoi(next());
+      s.crop_pad = std::atoi(next());
     } else if (key == "--delta") {
-      a.delta = std::atof(next());
+      s.mesh.delta = std::atof(next());
     } else if (key == "--rho") {
-      a.rho = std::atof(next());
+      s.mesh.radius_edge_bound = std::atof(next());
     } else if (key == "--facet-angle") {
-      a.facet_angle = std::atof(next());
+      s.mesh.min_planar_angle_deg = std::atof(next());
     } else if (key == "--uniform-size") {
-      a.uniform_size = std::atof(next());
+      s.uniform_size = std::atof(next());
     } else if (key == "--threads") {
-      a.threads = std::atoi(next());
+      s.mesh.threads = std::atoi(next());
     } else if (key == "--cm") {
-      a.cm = next();
+      const std::string name = next();
+      const auto cm = pi2m::parse_cm_name(name);
+      if (!cm) {
+        std::fprintf(stderr, "unknown contention manager '%s'\n",
+                     name.c_str());
+        std::exit(2);
+      }
+      s.mesh.contention_manager = *cm;
     } else if (key == "--lb") {
-      a.lb = next();
+      const std::string name = next();
+      const auto lb = pi2m::parse_lb_name(name);
+      if (!lb) {
+        std::fprintf(stderr, "unknown load balancer '%s'\n", name.c_str());
+        std::exit(2);
+      }
+      s.mesh.load_balancer = *lb;
     } else if (key == "--no-geom-cache") {
-      a.no_geom_cache = true;
+      s.mesh.use_geom_cache = false;
     } else if (key == "--reference-walks") {
-      a.reference_walks = true;
+      s.mesh.use_reference_walks = true;
     } else if (key == "--topology") {
-      a.topology = next();
+      s.topology_desc = next();
+      if (s.topology_desc == "auto") {
+        s.mesh.topology_auto = true;
+      } else {
+        // "CxS": C cores per socket, S sockets per blade.
+        int c = 0, so = 0;
+        if (std::sscanf(s.topology_desc.c_str(), "%dx%d", &c, &so) != 2 ||
+            c < 1 || so < 1) {
+          std::fprintf(stderr, "bad --topology '%s' (want auto or CxS)\n",
+                       s.topology_desc.c_str());
+          std::exit(2);
+        }
+        s.mesh.topology.cores_per_socket = c;
+        s.mesh.topology.sockets_per_blade = so;
+      }
     } else if (key == "--pin") {
-      a.pin = true;
+      s.mesh.pin = true;
     } else if (key == "--mutex-scheduler") {
-      a.mutex_scheduler = true;
+      s.mesh.mutex_scheduler = true;
     } else if (key == "--park-spin-us") {
-      a.park_spin_us = std::atoi(next());
+      s.mesh.park_spin_us = std::atoi(next());
     } else if (key == "--smooth") {
-      a.smooth = std::atoi(next());
+      s.smooth = std::atoi(next());
     } else if (key == "--out") {
-      a.outs.push_back(next());
+      s.outputs.push_back(next());
     } else if (key == "--save-image") {
       a.save_image = next();
     } else if (key == "--report") {
@@ -185,123 +188,50 @@ std::optional<Args> parse(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (a.input.empty() && a.phantom.empty()) {
+  if (s.input_path.empty() && s.phantom.empty()) {
     std::fprintf(stderr, "need --input or --phantom (try --help)\n");
     return std::nullopt;
   }
+  // Output formats are validated up front so a typo fails before an
+  // hour-long refinement, not after.
+  for (const std::string& out : s.outputs) {
+    const auto dot = out.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : out.substr(dot);
+    if (ext != ".vtk" && ext != ".off" && ext != ".mesh" && ext != ".stl" &&
+        ext != ".p2m") {
+      std::fprintf(stderr, "unknown output format: %s\n", out.c_str());
+      std::exit(2);
+    }
+  }
   return a;
-}
-
-std::optional<pi2m::CmKind> parse_cm(const std::string& s) {
-  if (s == "aggressive") return pi2m::CmKind::Aggressive;
-  if (s == "random") return pi2m::CmKind::Random;
-  if (s == "global") return pi2m::CmKind::Global;
-  if (s == "local") return pi2m::CmKind::Local;
-  return std::nullopt;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse(argc, argv);
+  auto args = parse(argc, argv);
   if (!args) return 2;
 
+  // The manifest / --metrics snapshot always carries the quality, fidelity
+  // and validation numbers, so compute them whenever any consumer asks.
+  const bool want_registry = !args->json_report.empty() || args->metrics;
+  args->spec.want_report = args->report || want_registry;
+  args->spec.want_validation = args->validate || want_registry;
+
+  pi2m::MeshJob job(std::move(args->spec));
+
   // --- input image ---
-  pi2m::LabeledImage3D img;
-  if (!args->input.empty()) {
-    std::string error;
-    auto loaded = pi2m::io::read_mha(args->input, &error);
-    if (!loaded) {
-      std::fprintf(stderr, "failed to read %s: %s\n", args->input.c_str(),
-                   error.c_str());
-      return 1;
-    }
-    img = std::move(*loaded);
-  } else {
-    const std::string& p = args->phantom;
-    const int n = args->size;
-    if (p == "ball") {
-      img = pi2m::phantom::ball(n);
-    } else if (p == "shells") {
-      img = pi2m::phantom::concentric_shells(n);
-    } else if (p == "abdominal") {
-      img = pi2m::phantom::abdominal(n, n, n);
-    } else if (p == "knee") {
-      img = pi2m::phantom::knee(n, n, n);
-    } else if (p == "head_neck") {
-      img = pi2m::phantom::head_neck(n, n, n);
-    } else if (p == "vessels") {
-      img = pi2m::phantom::vessels(n);
-    } else {
-      std::fprintf(stderr, "unknown phantom '%s'\n", p.c_str());
-      return 2;
-    }
+  if (!job.prepare()) {
+    std::fprintf(stderr, "%s\n", job.artifacts().error.c_str());
+    return job.artifacts().error.rfind("failed to read", 0) == 0 ? 1 : 2;
   }
-  if (args->downsample_factor > 1) {
-    img = pi2m::downsample(img, args->downsample_factor);
-  }
-  if (args->crop_pad >= 0) {
-    pi2m::Voxel lo, hi;
-    pi2m::foreground_bounds(img, args->crop_pad, &lo, &hi);
-    img = pi2m::crop(img, lo, hi);
-  }
+  const pi2m::LabeledImage3D& img = job.image();
   std::printf("image: %dx%dx%d, %zu tissue label(s)\n", img.nx(), img.ny(),
               img.nz(), img.labels_present().size());
   if (!args->save_image.empty() &&
       !pi2m::io::write_mha(img, args->save_image)) {
     std::fprintf(stderr, "failed to write %s\n", args->save_image.c_str());
     return 1;
-  }
-
-  // --- meshing ---
-  pi2m::MeshingOptions opt;
-  opt.delta = args->delta;
-  opt.radius_edge_bound = args->rho;
-  opt.min_planar_angle_deg = args->facet_angle;
-  opt.threads = args->threads;
-  opt.use_geom_cache = !args->no_geom_cache;
-  opt.use_reference_walks = args->reference_walks;
-  opt.pin = args->pin;
-  opt.mutex_scheduler = args->mutex_scheduler;
-  opt.park_spin_us = args->park_spin_us;
-  if (!args->topology.empty()) {
-    if (args->topology == "auto") {
-      opt.topology_auto = true;
-    } else {
-      // "CxS": C cores per socket, S sockets per blade.
-      int c = 0, s = 0;
-      if (std::sscanf(args->topology.c_str(), "%dx%d", &c, &s) != 2 ||
-          c < 1 || s < 1) {
-        std::fprintf(stderr, "bad --topology '%s' (want auto or CxS)\n",
-                     args->topology.c_str());
-        return 2;
-      }
-      opt.topology.cores_per_socket = c;
-      opt.topology.sockets_per_blade = s;
-    }
-  }
-  if (args->uniform_size > 0) {
-    opt.size_function = pi2m::sizing::uniform(args->uniform_size);
-  }
-  const auto cm = parse_cm(args->cm);
-  if (!cm) {
-    std::fprintf(stderr, "unknown contention manager '%s'\n",
-                 args->cm.c_str());
-    return 2;
-  }
-  opt.contention_manager = *cm;
-  if (args->lb == "rws") {
-    opt.load_balancer = pi2m::LbKind::RWS;
-  } else if (args->lb == "hws") {
-    opt.load_balancer = pi2m::LbKind::HWS;
-  } else {
-    std::fprintf(stderr, "unknown load balancer '%s'\n", args->lb.c_str());
-    return 2;
   }
 
   // Open the tracing session before meshing so the EDT (computed in the
@@ -329,80 +259,61 @@ int main(int argc, char** argv) {
     return true;
   };
 
-  pi2m::MeshingResult res = pi2m::mesh_image(img, opt);
-  if (!res.ok()) {
+  // --- the pipeline: EDT -> refine -> extract -> smooth -> reports ---
+  const pi2m::JobArtifacts& art = job.run();
+  if (!art.outcome.completed) {
     std::fprintf(stderr, "meshing did not complete (livelock=%d, budget=%d)\n",
-                 res.outcome.livelocked, res.outcome.budget_exhausted);
+                 art.outcome.livelocked, art.outcome.budget_exhausted);
     finish_trace();  // a partial timeline is exactly what diagnoses this
     return 1;
   }
   std::printf("mesh: %zu tetrahedra, %zu points, %zu interface triangles\n",
-              res.mesh.num_tets(), res.mesh.num_points(),
-              res.mesh.boundary_tris.size());
+              art.mesh.num_tets(), art.mesh.num_points(),
+              art.mesh.boundary_tris.size());
+  const double eps = art.outcome.wall_sec > 0
+                         ? static_cast<double>(art.mesh.num_tets()) /
+                               art.outcome.wall_sec
+                         : 0.0;
   std::printf("time: EDT %.2fs + refinement %.2fs  (%.0f elements/s)\n",
-              res.outcome.edt_sec, res.outcome.wall_sec,
-              res.elements_per_sec());
-
-  // --- optional smoothing ---
-  const pi2m::IsosurfaceOracle oracle(img, args->threads);
-  std::optional<pi2m::SmoothingReport> srep;
-  double smooth_sec = 0.0;
-  if (args->smooth > 0) {
-    pi2m::SmoothingOptions sopt;
-    sopt.iterations = args->smooth;
-    sopt.threads = args->threads;
-    const double t0 = pi2m::now_sec();
-    srep = pi2m::smooth_mesh(res.mesh, oracle, sopt);
-    smooth_sec = pi2m::now_sec() - t0;
+              art.outcome.edt_sec, art.outcome.wall_sec, eps);
+  if (art.smoothing) {
     std::printf("smoothing: %zu moves (%zu rejected), min dihedral %.2f -> "
                 "%.2f deg\n",
-                srep->moves_accepted, srep->moves_rejected,
-                srep->min_dihedral_before, srep->min_dihedral_after);
+                art.smoothing->moves_accepted, art.smoothing->moves_rejected,
+                art.smoothing->min_dihedral_before,
+                art.smoothing->min_dihedral_after);
   }
 
   // All traced phases are over; flush the timeline.
   if (!finish_trace()) return 1;
 
   // --- reports ---
-  // The manifest / --metrics snapshot always carries the quality, fidelity
-  // and validation numbers, so compute them whenever any consumer asks.
-  const bool want_registry = !args->json_report.empty() || args->metrics;
-  std::optional<pi2m::QualityReport> quality;
-  std::optional<pi2m::HausdorffResult> hdist;
-  std::optional<pi2m::MeshValidation> validation;
-  if (args->report || want_registry) {
-    quality = pi2m::evaluate_quality(res.mesh);
-    hdist = pi2m::hausdorff_distance(res.mesh, oracle, 2);
-  }
-  if (args->validate || want_registry) {
-    validation = pi2m::validate_mesh(res.mesh);
-  }
-
   if (args->report) {
     std::printf("quality: max radius-edge %.2f, dihedral [%.1f, %.1f] deg, "
                 "min boundary angle %.1f deg\n",
-                quality->max_radius_edge, quality->min_dihedral_deg,
-                quality->max_dihedral_deg, quality->min_boundary_planar_deg);
+                art.quality->max_radius_edge, art.quality->min_dihedral_deg,
+                art.quality->max_dihedral_deg,
+                art.quality->min_boundary_planar_deg);
     std::printf("fidelity: Hausdorff %.2f (mesh->surf %.2f, surf->mesh %.2f)\n",
-                hdist->symmetric(), hdist->mesh_to_surface,
-                hdist->surface_to_mesh);
+                art.hausdorff->symmetric(), art.hausdorff->mesh_to_surface,
+                art.hausdorff->surface_to_mesh);
   }
   bool validation_failed = false;
   if (args->validate) {
-    if (validation->ok) {
+    if (art.validation->ok) {
       std::printf("validation: OK (%zu connected component(s), %zu "
                   "non-manifold boundary edges)\n",
-                  validation->connected_components,
-                  validation->boundary_edges_nonmanifold);
+                  art.validation->connected_components,
+                  art.validation->boundary_edges_nonmanifold);
     } else {
       std::printf("validation: FAILED\n");
-      for (const auto& e : validation->errors) std::printf("  - %s\n",
-                                                           e.c_str());
+      for (const auto& e : art.validation->errors) std::printf("  - %s\n",
+                                                               e.c_str());
       validation_failed = true;  // exit 1 after the manifest is written
     }
   }
   if (args->stats) {
-    const auto& t = res.outcome.totals;
+    const auto& t = art.outcome.totals;
     std::printf("stats: %llu ops (%llu ins / %llu rem), %llu rollbacks\n",
                 static_cast<unsigned long long>(t.operations),
                 static_cast<unsigned long long>(t.insertions),
@@ -417,26 +328,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.steals_intra_blade),
                 static_cast<unsigned long long>(t.steals_inter_blade));
     std::printf("rules: R1=%llu R2=%llu R3=%llu R4=%llu R5=%llu\n",
-                static_cast<unsigned long long>(res.outcome.rule_counts[1]),
-                static_cast<unsigned long long>(res.outcome.rule_counts[2]),
-                static_cast<unsigned long long>(res.outcome.rule_counts[3]),
-                static_cast<unsigned long long>(res.outcome.rule_counts[4]),
-                static_cast<unsigned long long>(res.outcome.rule_counts[5]));
+                static_cast<unsigned long long>(art.outcome.rule_counts[1]),
+                static_cast<unsigned long long>(art.outcome.rule_counts[2]),
+                static_cast<unsigned long long>(art.outcome.rule_counts[3]),
+                static_cast<unsigned long long>(art.outcome.rule_counts[4]),
+                static_cast<unsigned long long>(art.outcome.rule_counts[5]));
   }
 
   // --- unified metrics / manifest ---
   if (want_registry) {
-    pi2m::telemetry::MetricsRegistry reg;
-    pi2m::telemetry::collect_outcome(reg, res.outcome);
-    pi2m::telemetry::collect_predicates(reg, pi2m::predicate_counters());
-    pi2m::telemetry::collect_mesh(reg, res.mesh);
-    if (srep) pi2m::telemetry::collect_smoothing(reg, *srep);
-    if (quality) pi2m::telemetry::collect_quality(reg, *quality);
-    if (hdist) pi2m::telemetry::collect_hausdorff(reg, *hdist);
-    if (validation) pi2m::telemetry::collect_validation(reg, *validation);
-
     if (args->metrics) {
-      for (const auto& [name, m] : reg.all()) {
+      for (const auto& [name, m] : art.metrics.all()) {
         switch (m.kind) {
           case pi2m::telemetry::MetricValue::Kind::U64:
             std::printf("%s %llu\n", name.c_str(),
@@ -451,34 +353,8 @@ int main(int argc, char** argv) {
         }
       }
     }
-
     if (!args->json_report.empty()) {
-      pi2m::telemetry::RunManifest man;
-      man.tool = "pi2m_cli";
-      man.set_config("input", args->input.empty()
-                                  ? "phantom:" + args->phantom
-                                  : args->input);
-      if (args->input.empty()) man.set_config("size", args->size);
-      if (args->downsample_factor > 1)
-        man.set_config("downsample", args->downsample_factor);
-      if (args->crop_pad >= 0) man.set_config("crop_foreground", args->crop_pad);
-      man.set_config("delta", args->delta);
-      man.set_config("rho", args->rho);
-      man.set_config("facet_angle", args->facet_angle);
-      if (args->uniform_size > 0)
-        man.set_config("uniform_size", args->uniform_size);
-      man.set_config("threads", args->threads);
-      man.set_config("cm", args->cm);
-      man.set_config("lb", args->lb);
-      man.set_config("scheduler",
-                     args->mutex_scheduler ? "mutex" : "lockfree");
-      if (!args->topology.empty()) man.set_config("topology", args->topology);
-      if (args->pin) man.set_config("pin", true);
-      man.set_config("smooth", args->smooth);
-      man.add_phase("edt", res.outcome.edt_sec);
-      man.add_phase("refine", res.outcome.wall_sec);
-      if (args->smooth > 0) man.add_phase("smooth", smooth_sec);
-      man.metrics = reg;
+      const pi2m::telemetry::RunManifest man = job.build_manifest("pi2m_cli");
       if (!man.write(args->json_report)) {
         std::fprintf(stderr, "failed to write %s\n",
                      args->json_report.c_str());
@@ -491,27 +367,12 @@ int main(int argc, char** argv) {
   // only after every report artifact has been written.
   if (validation_failed) return 1;
 
-  // --- outputs ---
-  for (const std::string& out : args->outs) {
-    bool ok = false;
-    if (ends_with(out, ".vtk")) {
-      ok = pi2m::io::write_vtk(res.mesh, out);
-    } else if (ends_with(out, ".off")) {
-      ok = pi2m::io::write_off_surface(res.mesh, out);
-    } else if (ends_with(out, ".mesh")) {
-      ok = pi2m::io::write_medit(res.mesh, out);
-    } else if (ends_with(out, ".stl")) {
-      ok = pi2m::io::write_stl_surface(res.mesh, out);
-    } else if (ends_with(out, ".p2m")) {
-      ok = pi2m::io::save_mesh(res.mesh, out);
-    } else {
-      std::fprintf(stderr, "unknown output format: %s\n", out.c_str());
-      return 2;
-    }
-    if (!ok) {
-      std::fprintf(stderr, "failed to write %s\n", out.c_str());
-      return 1;
-    }
+  // --- outputs (already written by the job; report or fail) ---
+  if (!art.ok) {
+    std::fprintf(stderr, "%s\n", art.error.c_str());
+    return 1;
+  }
+  for (const std::string& out : job.spec().outputs) {
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;

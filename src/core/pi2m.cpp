@@ -80,11 +80,18 @@ RefinerOptions to_refiner_options(const MeshingOptions& opt) {
   r.topology_auto = opt.topology_auto;
   r.mutex_scheduler = opt.mutex_scheduler;
   r.park_spin_us = opt.park_spin_us;
+  r.cancel = opt.cancel;
+  r.warm_arena = opt.warm_arena;
   return r;
 }
 
 MeshingResult mesh_image(const LabeledImage3D& img, const MeshingOptions& opt) {
-  Refiner refiner(img, to_refiner_options(opt));
+  return mesh_image(img, opt, nullptr);
+}
+
+MeshingResult mesh_image(const LabeledImage3D& img, const MeshingOptions& opt,
+                         std::shared_ptr<const IsosurfaceOracle> warm_oracle) {
+  Refiner refiner(img, to_refiner_options(opt), std::move(warm_oracle));
   MeshingResult res;
   res.outcome = refiner.refine();
   res.mesh = extract_mesh(refiner.mesh(), refiner.oracle(), opt.threads);

@@ -74,6 +74,12 @@ struct MeshingOptions {
   bool topology_auto = false;
   bool mutex_scheduler = false;
   int park_spin_us = 50;
+
+  /// Serving hooks (see RefinerOptions for semantics): cooperative
+  /// cancellation checked at refinement-loop boundaries, and warm
+  /// recycled arena storage for repeated meshes in one process.
+  const std::atomic<bool>* cancel = nullptr;
+  bool warm_arena = false;
 };
 
 struct MeshingResult {
@@ -89,6 +95,12 @@ struct MeshingResult {
 
 /// One-shot image-to-mesh conversion.
 MeshingResult mesh_image(const LabeledImage3D& img, const MeshingOptions& opt);
+
+/// Serving-path variant: re-uses a precomputed oracle (EDT cache hit; must
+/// match `img` in content) instead of recomputing the feature transform.
+/// Pass nullptr to fall back to the one-shot behaviour.
+MeshingResult mesh_image(const LabeledImage3D& img, const MeshingOptions& opt,
+                         std::shared_ptr<const IsosurfaceOracle> warm_oracle);
 
 /// Translates the public options into refiner options (exposed for benches
 /// that need to drive the Refiner directly).

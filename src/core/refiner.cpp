@@ -37,6 +37,10 @@ Topology make_topology(const RefinerOptions& opt) {
 }  // namespace
 
 Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
+    : Refiner(img, std::move(opt), nullptr) {}
+
+Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt,
+                 std::shared_ptr<const IsosurfaceOracle> warm_oracle)
     : opt_(opt),
       img_(&img),
       topo_(make_topology(opt)),
@@ -44,20 +48,29 @@ Refiner::Refiner(const LabeledImage3D& img, RefinerOptions opt)
   opt_.threads = std::max(1, opt_.threads);
   PI2M_CHECK(opt_.rules.delta > 0.0, "RefineRulesConfig::delta must be set");
 
-  const double t0 = now_sec();
-  {
-    PI2M_TRACE_SPAN("phase.edt", "phase");
-    const int edt_threads =
-        opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
-    oracle_ = std::make_unique<IsosurfaceOracle>(img, edt_threads);
+  if (warm_oracle != nullptr) {
+    // EDT cache hit: the feature transform is already computed and shared;
+    // the oracle's walk mode was fixed when the cache entry was built.
+    oracle_ = std::move(warm_oracle);
+    edt_sec_ = 0.0;
+  } else {
+    const double t0 = now_sec();
+    {
+      PI2M_TRACE_SPAN("phase.edt", "phase");
+      const int edt_threads =
+          opt_.edt_threads > 0 ? opt_.edt_threads : opt_.threads;
+      auto fresh = std::make_unique<IsosurfaceOracle>(img, edt_threads);
+      fresh->set_use_dda(!opt_.use_reference_walks);
+      oracle_ = std::move(fresh);
+    }
+    edt_sec_ = now_sec() - t0;
   }
-  oracle_->set_use_dda(!opt_.use_reference_walks);
-  edt_sec_ = now_sec() - t0;
 
   const Aabb ib = img.bounds();
   const Aabb box = ib.inflated(kBoxMarginFrac * norm(ib.extent()));
   mesh_ = std::make_unique<DelaunayMesh>(box, opt_.max_vertices,
-                                         opt_.max_cells, kArenaBlock);
+                                         opt_.max_cells, kArenaBlock,
+                                         opt_.warm_arena);
   if (opt_.use_geom_cache) {
     geom_cache_ = std::make_unique<CellGeomCache>(mesh_->cell_capacity());
   }
@@ -401,6 +414,17 @@ void Refiner::worker(int tid) {
       wake_all_workers();
       break;
     }
+    // Cooperative cancellation, checked at the loop boundary only: an
+    // in-flight operation always commits or rolls back in full, so the
+    // mesh is left structurally sound for inspection/teardown.
+    if (opt_.cancel != nullptr &&
+        opt_.cancel->load(std::memory_order_relaxed)) {
+      cancelled_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+      cm_->wake_all();
+      wake_all_workers();
+      break;
+    }
     if (!ctx.removals.empty()) {
       const VertexId v = ctx.removals.front();
       ctx.removals.pop_front();
@@ -435,6 +459,16 @@ void Refiner::monitor() {
 
   while (!done_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Backstop for fully-parked workers: the monitor notices a cancel
+    // within its polling period and wakes everyone.
+    if (opt_.cancel != nullptr &&
+        opt_.cancel->load(std::memory_order_relaxed)) {
+      cancelled_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+      cm_->wake_all();
+      wake_all_workers();
+      break;
+    }
     const double now = now_sec();
     const std::uint64_t ops = successful_ops_.load(std::memory_order_relaxed);
     if (ops != last_ops) {
@@ -498,9 +532,11 @@ RefineOutcome Refiner::refine() {
       out.audit_errors.push_back("audit failed (violations truncated)");
     }
   }
-  out.completed = !livelocked_.load() && !budget_exhausted_.load();
+  out.completed = !livelocked_.load() && !budget_exhausted_.load() &&
+                  !cancelled_.load();
   out.livelocked = livelocked_.load();
   out.budget_exhausted = budget_exhausted_.load();
+  out.cancelled = cancelled_.load();
   out.wall_sec = wall;
   out.edt_sec = edt_sec_;
   out.totals = aggregate(stats_);

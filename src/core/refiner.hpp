@@ -84,12 +84,24 @@ struct RefinerOptions {
   /// An idle thread spins/yields this long before each timed park. 0 parks
   /// immediately; larger values trade wake-up latency for cpu.
   int park_spin_us = 50;
+
+  // ---- serving hooks (see DESIGN.md "Serving architecture") ----
+  /// Cooperative cancellation: when non-null and set, every worker stops at
+  /// its next refinement-loop boundary and refine() returns with
+  /// RefineOutcome::cancelled (completed == false). The pointee must
+  /// outlive refine(); the flag is only read, never cleared.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Back the mesh arenas with process-wide recycled chunk blocks
+  /// (support/arena_pool.hpp) so repeated runs in one process skip the
+  /// page-fault warm-up. Results are identical either way.
+  bool warm_arena = false;
 };
 
 struct RefineOutcome {
   bool completed = false;
   bool livelocked = false;
   bool budget_exhausted = false;
+  bool cancelled = false;  ///< RefinerOptions::cancel fired mid-run
   double wall_sec = 0.0;   ///< refinement only (excludes EDT)
   double edt_sec = 0.0;    ///< preprocessing (feature transform)
   StatsTotals totals;
@@ -112,6 +124,15 @@ struct RefineOutcome {
 class Refiner {
  public:
   Refiner(const LabeledImage3D& img, RefinerOptions opt);
+
+  /// Serving-path constructor: re-uses a precomputed oracle (EDT cache hit)
+  /// instead of computing the feature transform. `warm_oracle` must have
+  /// been built over an image identical in content to `img` (it is queried,
+  /// never mutated, so one oracle may serve concurrent refiners) and its
+  /// DDA/reference walk mode is taken as-is — opt.use_reference_walks is
+  /// ignored. RefineOutcome::edt_sec reports 0 for such runs.
+  Refiner(const LabeledImage3D& img, RefinerOptions opt,
+          std::shared_ptr<const IsosurfaceOracle> warm_oracle);
 
   /// Runs refinement to completion (or livelock/budget abort). Callable
   /// once per Refiner instance.
@@ -177,7 +198,9 @@ class Refiner {
 
   RefinerOptions opt_;
   const LabeledImage3D* img_;
-  std::unique_ptr<IsosurfaceOracle> oracle_;
+  /// Shared so the serving layer's EDT cache can hand one immutable oracle
+  /// to many concurrent refiners; solo runs own theirs exclusively.
+  std::shared_ptr<const IsosurfaceOracle> oracle_;
   std::unique_ptr<DelaunayMesh> mesh_;
   std::unique_ptr<CellGeomCache> geom_cache_;  ///< null when disabled
   std::unique_ptr<SpatialHashGrid> iso_grid_;
@@ -191,6 +214,7 @@ class Refiner {
   std::atomic<bool> done_{false};
   std::atomic<bool> livelocked_{false};
   std::atomic<bool> budget_exhausted_{false};
+  std::atomic<bool> cancelled_{false};
   std::atomic<std::int64_t> outstanding_{0};
   std::atomic<int> idle_count_{0};
   std::atomic<std::uint64_t> successful_ops_{0};

@@ -28,10 +28,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "geometry/vec3.hpp"
+#include "support/arena_pool.hpp"
 #include "support/common.hpp"
 
 namespace pi2m {
@@ -91,13 +94,29 @@ class ChunkedStore {
   static constexpr std::size_t kChunkBits = 14;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
 
-  explicit ChunkedStore(std::size_t max_elems)
+  /// `pooled` draws chunk storage from the process-wide ArenaPool and
+  /// returns it there on destruction (warm re-use across jobs in one
+  /// process — see DESIGN.md "Serving architecture"). Every acquired block
+  /// is re-initialized element-by-element with placement-new, so a pooled
+  /// store is observationally identical to a heap-backed one.
+  explicit ChunkedStore(std::size_t max_elems, bool pooled = false)
       : chunks_((max_elems + kChunkSize - 1) / kChunkSize + 1),
-        max_elems_(max_elems) {
+        max_elems_(max_elems),
+        pooled_(pooled) {
     for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
   }
   ~ChunkedStore() {
-    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+    for (auto& c : chunks_) {
+      T* p = c.load(std::memory_order_relaxed);
+      if (p == nullptr) continue;
+      if (pooled_) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "pooled chunks skip element destruction");
+        ArenaPool::instance().release(p, kChunkBytes);
+      } else {
+        delete[] p;
+      }
+    }
   }
   ChunkedStore(const ChunkedStore&) = delete;
   ChunkedStore& operator=(const ChunkedStore&) = delete;
@@ -150,17 +169,34 @@ class ChunkedStore {
   }
   void ensure_chunk(std::size_t ci) {
     if (chunks_[ci].load(std::memory_order_acquire) != nullptr) return;
-    T* fresh = new T[kChunkSize];
+    T* fresh;
+    if (pooled_) {
+      static_assert(alignof(T) <= ArenaPool::kAlignment,
+                    "pool blocks under-aligned for T");
+      void* raw = ArenaPool::instance().acquire(kChunkBytes);
+      fresh = static_cast<T*>(raw);
+      for (std::size_t i = 0; i < kChunkSize; ++i) new (fresh + i) T;
+    } else {
+      fresh = new T[kChunkSize];
+    }
     T* expected = nullptr;
     if (!chunks_[ci].compare_exchange_strong(expected, fresh,
                                              std::memory_order_acq_rel)) {
-      delete[] fresh;  // another thread won the race
+      // Another thread won the race.
+      if (pooled_) {
+        ArenaPool::instance().release(fresh, kChunkBytes);
+      } else {
+        delete[] fresh;
+      }
     }
   }
+
+  static constexpr std::size_t kChunkBytes = kChunkSize * sizeof(T);
 
   mutable std::vector<std::atomic<T*>> chunks_;
   std::atomic<std::uint32_t> count_{0};
   std::size_t max_elems_;
+  bool pooled_ = false;
 };
 
 /// Per-thread recycling pool for retired cell slots, plus a bump block of
@@ -188,8 +224,11 @@ class DelaunayMesh {
   /// the block create_vertex overload; 1 (the default) reserves slots one at
   /// a time, which is what direct constructions (tests, tools) want — the
   /// refiner passes a larger block sized to its thread count.
+  /// `pooled_arena` backs the vertex/cell arenas with ArenaPool blocks so
+  /// repeated meshes in one process re-use warm storage (serving path).
   DelaunayMesh(const Aabb& box, std::size_t max_vertices,
-               std::size_t max_cells, std::uint32_t arena_block = 1);
+               std::size_t max_cells, std::uint32_t arena_block = 1,
+               bool pooled_arena = false);
 
   [[nodiscard]] const Aabb& box() const { return box_; }
 

@@ -1,0 +1,136 @@
+#include "imaging/edt_cache.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+namespace pi2m {
+
+namespace {
+
+inline void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+}
+
+/// Image + 3x int16 feature coordinates per voxel (edt.hpp) + fixed slack.
+std::size_t entry_footprint(const LabeledImage3D& img) {
+  return img.voxel_count() * (sizeof(Label) + 3 * sizeof(std::int16_t)) +
+         (std::size_t{1} << 12);
+}
+
+}  // namespace
+
+std::uint64_t image_content_hash(const LabeledImage3D& img) {
+  std::uint64_t h = 1469598103934665603ull;
+  const int dims[3] = {img.nx(), img.ny(), img.nz()};
+  fnv1a(h, dims, sizeof dims);
+  const Vec3 sp = img.spacing();
+  const Vec3 org = img.origin();
+  const double geo[6] = {sp.x, sp.y, sp.z, org.x, org.y, org.z};
+  fnv1a(h, geo, sizeof geo);
+  if (!img.raw().empty()) {
+    fnv1a(h, img.raw().data(), img.raw().size() * sizeof(Label));
+  }
+  return h;
+}
+
+struct EdtCache::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::shared_ptr<const Entry> entry;  ///< set exactly once, under mu
+};
+
+EdtCache::EdtCache(std::size_t byte_budget) : budget_bytes_(byte_budget) {}
+
+std::shared_ptr<const EdtCache::Entry> EdtCache::acquire(
+    const LabeledImage3D& img, int threads, bool* hit) {
+  const std::uint64_t key = image_content_hash(img);
+  std::shared_ptr<InFlight> fl;
+  bool creator = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      std::shared_ptr<const Entry> e = *it->second;
+      if (e->image.nx() == img.nx() && e->image.ny() == img.ny() &&
+          e->image.nz() == img.nz()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+        ++stats_.hits;
+        if (hit != nullptr) *hit = true;
+        return e;
+      }
+      // Hash collision across different shapes: serve the request without
+      // caching it (practically unreachable; never hand out wrong content).
+    }
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      fl = in->second;
+      ++stats_.coalesced;
+    } else {
+      fl = std::make_shared<InFlight>();
+      inflight_.emplace(key, fl);
+      creator = true;
+      ++stats_.misses;
+    }
+  }
+
+  if (creator) {
+    // Compute outside the cache lock: concurrent jobs on *different*
+    // images overlap their EDT computations freely.
+    auto e = std::make_shared<Entry>();
+    e->image = img;  // deep copy: entry owns stable storage
+    e->oracle = std::make_shared<const IsosurfaceOracle>(e->image, threads);
+    e->key = key;
+    e->bytes = entry_footprint(e->image);
+    {
+      std::lock_guard<std::mutex> lk(fl->mu);
+      fl->entry = e;
+    }
+    fl->cv.notify_all();
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(key);
+    insert_and_evict_locked(std::move(e));
+  }
+
+  std::unique_lock<std::mutex> lk(fl->mu);
+  fl->cv.wait(lk, [&] { return fl->entry != nullptr; });
+  if (hit != nullptr) *hit = false;
+  return fl->entry;
+}
+
+void EdtCache::insert_and_evict_locked(std::shared_ptr<const Entry> e) {
+  const std::uint64_t key = e->key;
+  if (index_.count(key) != 0) return;  // raced duplicate; keep the first
+  bytes_ += e->bytes;
+  lru_.push_front(std::move(e));
+  index_[key] = lru_.begin();
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
+    const std::shared_ptr<const Entry>& victim = lru_.back();
+    bytes_ -= victim->bytes;
+    index_.erase(victim->key);
+    lru_.pop_back();  // pinned holders keep the entry alive via shared_ptr
+    ++stats_.evictions;
+  }
+}
+
+void EdtCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.evictions += lru_.size();
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+EdtCache::Stats EdtCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  s.budget_bytes = budget_bytes_;
+  return s;
+}
+
+}  // namespace pi2m

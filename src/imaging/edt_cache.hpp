@@ -1,0 +1,90 @@
+// Content-addressed cache of feature transforms (EDT) and their oracles.
+//
+// The feature transform is the only preprocessing step of the pipeline and
+// the dominant fixed cost of small meshing jobs; in a serving process the
+// same segmented image is meshed over and over with different refinement
+// knobs (delta sweeps, quality ladders, per-user sizing). Since the EDT
+// depends only on the image content, one computation can back them all:
+// entries are keyed by a content hash of the voxel data + geometry, pinned
+// by shared_ptr while any job uses them, and evicted LRU under a byte
+// budget.
+//
+// Thread-safety: every public method is safe to call concurrently. A miss
+// computes outside the lock; concurrent misses on the same key are
+// single-flighted (the second caller waits for the first computation
+// instead of duplicating it).
+//
+// The entry owns a *copy* of the image, and its oracle is built over that
+// copy — callers must run refinement against entry->image (not their own
+// copy) so the oracle's internal image pointer stays valid and consistent.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "imaging/image3d.hpp"
+#include "imaging/isosurface.hpp"
+
+namespace pi2m {
+
+/// FNV-1a over dimensions, spacing, origin and raw label bytes. Two images
+/// with equal hashes are treated as identical content (64-bit collision
+/// odds are negligible against the cache's lifetime; dimensions are also
+/// cross-checked on every hit).
+std::uint64_t image_content_hash(const LabeledImage3D& img);
+
+class EdtCache {
+ public:
+  struct Entry {
+    LabeledImage3D image;  ///< stable copy the oracle points into
+    std::shared_ptr<const IsosurfaceOracle> oracle;
+    std::uint64_t key = 0;
+    std::size_t bytes = 0;  ///< image + feature-transform footprint
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;  ///< waited on another thread's compute
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+    std::size_t budget_bytes = 0;
+  };
+
+  explicit EdtCache(std::size_t byte_budget);
+
+  /// Returns a pinned entry whose content equals `img`, computing the image
+  /// copy + feature transform with `threads` threads on a miss. `hit` (when
+  /// given) reports whether the EDT computation was skipped. The returned
+  /// entry stays valid for as long as the caller holds it, even across
+  /// eviction.
+  std::shared_ptr<const Entry> acquire(const LabeledImage3D& img, int threads,
+                                       bool* hit = nullptr);
+
+  /// Drops every idle entry (pinned entries survive via their shared_ptr).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct InFlight;
+
+  void insert_and_evict_locked(std::shared_ptr<const Entry> e);
+
+  mutable std::mutex mu_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  /// MRU-first pinned entries; the map indexes into the list.
+  std::list<std::shared_ptr<const Entry>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::shared_ptr<const Entry>>::iterator>
+      index_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  Stats stats_;
+};
+
+}  // namespace pi2m

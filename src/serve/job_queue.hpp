@@ -1,0 +1,127 @@
+// Bounded priority job queue for the meshing service.
+//
+// Three strict priority classes; FIFO within a class (two jobs at the same
+// priority complete in submission order — the fairness contract the
+// protocol documents). The bound is the admission-control backstop: when
+// `size == capacity` try_push refuses immediately and the caller answers
+// REJECTED_OVERLOAD, so a burst of submissions degrades into fast explicit
+// rejections instead of an unbounded memory ramp.
+//
+// Blocking pop() is for the executor threads; close() wakes them all and
+// lets them drain what is already queued before exiting (graceful drain),
+// while close_and_clear() also discards the backlog (immediate shutdown —
+// the caller owns notifying the discarded jobs).
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace pi2m::serve {
+
+/// Strict priority classes; lower value runs first.
+enum class Priority : int { High = 0, Normal = 1, Low = 2 };
+inline constexpr int kPriorityClasses = 3;
+
+template <typename T>
+class JobQueue {
+ public:
+  enum class Push { Ok, Full, Closed };
+
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  Push try_push(T item, Priority pri) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return Push::Closed;
+      if (size_ >= capacity_) return Push::Full;
+      classes_[static_cast<int>(pri)].push_back(std::move(item));
+      ++size_;
+    }
+    cv_.notify_one();
+    return Push::Ok;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (returns false). Highest class first, FIFO within a class.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    for (auto& q : classes_) {
+      if (q.empty()) continue;
+      *out = std::move(q.front());
+      q.pop_front();
+      --size_;
+      return true;
+    }
+    return false;  // unreachable: size_ > 0 implies a non-empty class
+  }
+
+  /// Removes the first queued item matching `pred` (any class); returns
+  /// whether one was removed. Cancel-before-start uses this.
+  template <typename Pred>
+  bool remove_if(Pred pred) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& q : classes_) {
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (pred(*it)) {
+          q.erase(it);
+          --size_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Stops admissions; blocked pop() calls drain the backlog then return
+  /// false. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// close() plus discarding the backlog. Returns the discarded items so
+  /// the caller can mark them cancelled.
+  std::deque<T> close_and_clear() {
+    std::deque<T> dropped;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+      for (auto& q : classes_) {
+        for (auto& item : q) dropped.push_back(std::move(item));
+        q.clear();
+      }
+      size_ = 0;
+    }
+    cv_.notify_all();
+    return dropped;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<T>, kPriorityClasses> classes_;
+  const std::size_t capacity_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pi2m::serve

@@ -1,0 +1,332 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pi2m::serve {
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  static const JsonValue kNull;
+  if (!is_object()) return kNull;
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? kNull : it->second;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    if (at_end() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) return fail("truncated \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            if (text.substr(pos, 2) != "\\u") {
+              return fail("lone high surrogate");
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos;
+    if (!at_end() && text[pos] == '-') ++pos;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (!at_end() && text[pos] == '.') {
+      ++pos;
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (!at_end() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!at_end() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return fail("bad number");
+    }
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    *out = JsonValue(d);
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue();
+        return true;
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos;
+        JsonArray arr;
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+        } else {
+          while (true) {
+            JsonValue v;
+            if (!parse_value(&v, depth + 1)) return false;
+            arr.push_back(std::move(v));
+            skip_ws();
+            if (at_end()) return fail("unterminated array");
+            const char c = text[pos++];
+            if (c == ']') break;
+            if (c != ',') return fail("expected ',' or ']'");
+          }
+        }
+        *out = JsonValue(std::move(arr));
+        return true;
+      }
+      case '{': {
+        ++pos;
+        JsonObject obj;
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+        } else {
+          while (true) {
+            skip_ws();
+            std::string key;
+            if (!parse_string(&key)) return false;
+            skip_ws();
+            if (!expect(':')) return false;
+            JsonValue v;
+            if (!parse_value(&v, depth + 1)) return false;
+            obj.insert_or_assign(std::move(key), std::move(v));
+            skip_ws();
+            if (at_end()) return fail("unterminated object");
+            const char c = text[pos++];
+            if (c == '}') break;
+            if (c != ',') return fail("expected ',' or '}'");
+          }
+        }
+        *out = JsonValue(std::move(obj));
+        return true;
+      }
+      default:
+        return parse_number(out);
+    }
+  }
+};
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  JsonValue v;
+  if (!p.parse_value(&v, 0)) {
+    if (error != nullptr) *error = p.error;
+    return JsonValue();
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error != nullptr) {
+      *error = "trailing characters at offset " + std::to_string(p.pos);
+    }
+    return JsonValue();
+  }
+  return v;
+}
+
+std::string base64_encode(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::string out;
+  out.reserve((len + 2) / 3 * 4);
+  for (std::size_t i = 0; i < len; i += 3) {
+    const std::uint32_t b0 = bytes[i];
+    const std::uint32_t b1 = i + 1 < len ? bytes[i + 1] : 0;
+    const std::uint32_t b2 = i + 2 < len ? bytes[i + 2] : 0;
+    const std::uint32_t triple = (b0 << 16) | (b1 << 8) | b2;
+    out.push_back(kB64Alphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kB64Alphabet[(triple >> 12) & 0x3F]);
+    out.push_back(i + 1 < len ? kB64Alphabet[(triple >> 6) & 0x3F] : '=');
+    out.push_back(i + 2 < len ? kB64Alphabet[triple & 0x3F] : '=');
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view text, std::vector<std::uint8_t>* out) {
+  out->clear();
+  if (text.empty()) return true;
+  if (text.size() % 4 != 0) return false;
+  out->reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool last = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t triple = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding only in the last quantum, only in the final two slots.
+        if (!last || k < 2) return false;
+        ++pad;
+        triple <<= 6;
+        continue;
+      }
+      if (pad > 0) return false;  // data after '='
+      const int v = b64_value(c);
+      if (v < 0) return false;
+      triple = (triple << 6) | static_cast<std::uint32_t>(v);
+    }
+    out->push_back(static_cast<std::uint8_t>((triple >> 16) & 0xFF));
+    if (pad < 2) out->push_back(static_cast<std::uint8_t>((triple >> 8) & 0xFF));
+    if (pad < 1) out->push_back(static_cast<std::uint8_t>(triple & 0xFF));
+  }
+  return true;
+}
+
+}  // namespace pi2m::serve

@@ -1,0 +1,389 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace pi2m::serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool bind_unix(int fd, const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = "bind(" + path + "): " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SocketServer::Conn {
+  int fd = -1;
+  std::string in;   ///< bytes read, not yet newline-terminated
+  std::string out;  ///< response bytes not yet written
+  bool closing = false;
+};
+
+SocketServer::SocketServer(MeshService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  if (::pipe(stop_pipe_) != 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    return;
+  }
+  set_nonblocking(stop_pipe_[0]);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  if (!bind_unix(fd, path_, &error_) || ::listen(fd, 64) != 0) {
+    if (error_.empty()) {
+      error_ = std::string("listen: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return;
+  }
+  set_nonblocking(fd);
+  listen_fd_ = fd;
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  const char b = 1;
+  // Best-effort wakeup; async-signal-safe (write on a pipe).
+  [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &b, 1);
+}
+
+std::string SocketServer::handle_request(const Request& req) {
+  telemetry::JsonWriter w;
+  switch (req.op) {
+    case Request::Op::Invalid:
+      return error_response(kBadRequest, req.error);
+
+    case Request::Op::Ping:
+      w.begin_object().kv("ok", true).kv("op", "ping").end_object();
+      return w.str();
+
+    case Request::Op::Submit: {
+      const auto res = service_.submit(req.job, req.priority);
+      if (!res.accepted) {
+        return error_response(res.reject_code,
+                              res.reject_code == kDraining
+                                  ? "daemon is shutting down"
+                                  : "queue is at capacity");
+      }
+      w.begin_object()
+          .kv("ok", true)
+          .kv("id", res.id)
+          .kv("state", job_state_name(JobState::Queued))
+          .kv("priority", priority_name(req.priority))
+          .end_object();
+      return w.str();
+    }
+
+    case Request::Op::Status: {
+      const auto rec = service_.find(req.id);
+      if (rec == nullptr) {
+        return error_response(kNotFound,
+                              "no job " + std::to_string(req.id));
+      }
+      const JobState s = rec->current_state();
+      w.begin_object()
+          .kv("ok", true)
+          .kv("id", rec->id)
+          .kv("state", job_state_name(s))
+          .kv("priority", priority_name(rec->priority));
+      if (s != JobState::Queued) {
+        w.kv("queue_wait_sec", rec->queue_wait_sec);
+      }
+      if (rec->terminal()) {
+        w.kv("mesh_sec", rec->mesh_sec)
+            .kv("edt_cache_hit", rec->edt_cache_hit);
+        if (!rec->error.empty()) w.kv("error", rec->error);
+      }
+      w.end_object();
+      return w.str();
+    }
+
+    case Request::Op::Cancel: {
+      const auto rec = service_.find(req.id);
+      if (rec == nullptr) {
+        return error_response(kNotFound,
+                              "no job " + std::to_string(req.id));
+      }
+      const bool requested = service_.cancel(req.id);
+      w.begin_object()
+          .kv("ok", true)
+          .kv("id", rec->id)
+          .kv("cancelled", requested)
+          .kv("state", job_state_name(rec->current_state()))
+          .end_object();
+      return w.str();
+    }
+
+    case Request::Op::Result: {
+      const auto rec = service_.find(req.id);
+      if (rec == nullptr) {
+        return error_response(kNotFound,
+                              "no job " + std::to_string(req.id));
+      }
+      if (!rec->terminal()) {
+        return error_response(
+            kNotFinished,
+            "job " + std::to_string(req.id) + " is " +
+                job_state_name(rec->current_state()));
+      }
+      w.begin_object()
+          .kv("ok", true)
+          .kv("id", rec->id)
+          .kv("state", job_state_name(rec->current_state()))
+          .kv("queue_wait_sec", rec->queue_wait_sec)
+          .kv("mesh_sec", rec->mesh_sec)
+          .kv("edt_cache_hit", rec->edt_cache_hit);
+      if (!rec->error.empty()) w.kv("error", rec->error);
+      w.key("manifest");
+      if (rec->manifest_json.empty()) {
+        w.null();  // cancelled before it ever ran
+      } else {
+        w.raw(rec->manifest_json);
+      }
+      w.end_object();
+      return w.str();
+    }
+
+    case Request::Op::Stats: {
+      w.begin_object().kv("ok", true).key("metrics");
+      service_.metrics_snapshot().write_json(w);
+      w.end_object();
+      return w.str();
+    }
+
+    case Request::Op::Shutdown: {
+      drain_ = req.drain;
+      stop();
+      w.begin_object()
+          .kv("ok", true)
+          .kv("mode", req.drain ? "drain" : "now")
+          .end_object();
+      return w.str();
+    }
+  }
+  return error_response(kInternal, "unhandled op");
+}
+
+void SocketServer::handle_line(Conn& c, std::string_view line) {
+  // Tolerate CRLF clients and skip blank keep-alive lines.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return;
+  c.out += handle_request(parse_request(line));
+  c.out += '\n';
+}
+
+bool SocketServer::serve() {
+  if (!ok()) return false;
+  std::map<int, Conn> conns;
+  std::vector<pollfd> fds;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, c] : conns) {
+      short ev = POLLIN;
+      if (!c.out.empty()) ev |= POLLOUT;
+      fds.push_back({fd, ev, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) break;  // stop() fired
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        Conn c;
+        c.fd = cfd;
+        conns.emplace(cfd, std::move(c));
+      }
+    }
+
+    std::vector<int> dead;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const auto it = conns.find(fds[i].fd);
+      if (it == conns.end()) continue;
+      Conn& c = it->second;
+      const short re = fds[i].revents;
+      if ((re & (POLLERR | POLLNVAL)) != 0) {
+        dead.push_back(c.fd);
+        continue;
+      }
+      if ((re & POLLIN) != 0) {
+        char buf[4096];
+        while (true) {
+          const ssize_t n = ::read(c.fd, buf, sizeof buf);
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            if (c.in.size() > (std::size_t{64} << 20)) {
+              // A line this long is not a protocol message; drop the peer
+              // rather than buffering without bound.
+              dead.push_back(c.fd);
+              c.closing = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            c.closing = true;  // peer shut down its write side
+          }
+          break;  // EAGAIN or EOF
+        }
+        if (c.closing && c.in.empty() && c.out.empty()) {
+          dead.push_back(c.fd);
+        }
+        std::size_t start = 0;
+        while (true) {
+          const std::size_t nl = c.in.find('\n', start);
+          if (nl == std::string::npos) break;
+          handle_line(c, std::string_view(c.in).substr(start, nl - start));
+          start = nl + 1;
+        }
+        c.in.erase(0, start);
+      }
+      if (!c.out.empty() && (re & (POLLOUT | POLLIN)) != 0) {
+        const ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+        if (n > 0) {
+          c.out.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          dead.push_back(c.fd);
+        }
+      }
+      if ((re & POLLHUP) != 0 && c.out.empty()) dead.push_back(c.fd);
+      if (c.closing && c.out.empty()) dead.push_back(c.fd);
+    }
+    for (const int fd : dead) {
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      ::close(fd);
+      conns.erase(it);
+    }
+  }
+
+  for (auto& [fd, c] : conns) {
+    // Flush best-effort (the shutdown ack, typically) before closing.
+    if (!c.out.empty()) {
+      [[maybe_unused]] const auto n = ::write(fd, c.out.data(), c.out.size());
+    }
+    ::close(fd);
+  }
+  if (drain_) {
+    service_.drain();
+  } else {
+    service_.shutdown_now();
+  }
+  return true;
+}
+
+bool request_over_socket(const std::string& socket_path,
+                         const std::string& request_line,
+                         std::string* response_line, std::string* error) {
+  response_line->clear();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + socket_path;
+    ::close(fd);
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = "connect(" + socket_path + "): " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  std::string msg = request_line;
+  if (msg.empty() || msg.back() != '\n') msg += '\n';
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const ssize_t n = ::write(fd, msg.data() + off, msg.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("write: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("read: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;  // daemon closed before a full line: fall through
+    response_line->append(buf, static_cast<std::size_t>(n));
+    const std::size_t nl = response_line->find('\n');
+    if (nl != std::string::npos) {
+      response_line->resize(nl);
+      ::close(fd);
+      return true;
+    }
+  }
+  ::close(fd);
+  if (!response_line->empty()) return true;  // line without trailing \n
+  *error = "daemon closed the connection without a response";
+  return false;
+}
+
+}  // namespace pi2m::serve

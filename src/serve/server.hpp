@@ -1,0 +1,72 @@
+// Local socket front-end of the meshing daemon.
+//
+// AF_UNIX stream socket, single poll loop, newline-delimited JSON (one
+// request per line, one response line back; see serve/protocol.hpp).
+// Request handling is O(request) — submissions are bounded-queue pushes,
+// status/cancel are map lookups — so one poll thread comfortably fronts
+// executors doing seconds of meshing work each; the loop never blocks on
+// the service.
+//
+// Shutdown paths:
+//   - stop() (signal-handler safe via the self-pipe): the loop exits, then
+//     serve() drains the service (graceful; in-flight jobs finish).
+//   - {"op":"shutdown","mode":"drain"}: same, after answering the client.
+//   - {"op":"shutdown","mode":"now"}: cancels queued + running jobs first.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace pi2m::serve {
+
+class SocketServer {
+ public:
+  /// Binds `socket_path` (unlinking a stale file first). `service` must
+  /// outlive the server.
+  SocketServer(MeshService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// False when the socket could not be bound (error() says why).
+  [[nodiscard]] bool ok() const { return listen_fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Runs the poll loop on the calling thread until stop() or a shutdown
+  /// request, then drains the service. Returns false on a fatal socket
+  /// error.
+  bool serve();
+
+  /// Wakes the poll loop and makes serve() return. Async-signal-safe:
+  /// writes one byte to the self-pipe.
+  void stop();
+
+  /// After serve() returned: whether the final service teardown should be
+  /// (or was) a drain (true) or an immediate cancel-everything (false).
+  [[nodiscard]] bool drained() const { return drain_; }
+
+ private:
+  struct Conn;
+  void handle_line(Conn& c, std::string_view line);
+  std::string handle_request(const Request& req);
+
+  MeshService& service_;
+  std::string path_;
+  std::string error_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  bool drain_ = true;
+};
+
+/// Client-side helper: connects, sends one request line, reads one
+/// response line. Used by pi2m_submit, the loadgen, and the tests.
+bool request_over_socket(const std::string& socket_path,
+                         const std::string& request_line,
+                         std::string* response_line, std::string* error);
+
+}  // namespace pi2m::serve

@@ -45,6 +45,7 @@ inline void collect_outcome(MetricsRegistry& r, const RefineOutcome& o) {
   r.set("refine.completed", o.completed);
   r.set("refine.livelocked", o.livelocked);
   r.set("refine.budget_exhausted", o.budget_exhausted);
+  r.set("refine.cancelled", o.cancelled);
   r.set("refine.wall_sec", o.wall_sec);
   r.set("refine.edt_sec", o.edt_sec);
   r.set("refine.alive_cells", o.alive_cells);

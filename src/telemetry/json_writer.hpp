@@ -79,6 +79,16 @@ class JsonWriter {
     return done();
   }
 
+  /// Splices a pre-rendered JSON value verbatim (one value's worth; the
+  /// caller guarantees it is itself valid JSON). Lets composite documents
+  /// embed already-serialized parts — e.g. a run manifest inside a serve
+  /// protocol response — without re-parsing.
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return done();
+  }
+
   /// Shorthand for key(...).value(...).
   template <typename T>
   JsonWriter& kv(std::string_view name, const T& v) {

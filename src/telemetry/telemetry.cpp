@@ -41,8 +41,14 @@ struct ThreadBuffer {
 };
 
 struct Registry {
-  std::mutex mu;  ///< guards `buffers` membership (registration/export)
+  std::mutex mu;  ///< guards `buffers`/`free_buffers` (registration/export)
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  /// Buffers whose owning thread exited, available for adoption by new
+  /// threads. Without this a long-lived process (the meshing daemon) that
+  /// traces per-request worker pools would register a fresh multi-MB ring
+  /// for every worker of every job, unbounded; with it the footprint is
+  /// capped by the peak number of *concurrently* live traced threads.
+  std::vector<ThreadBuffer*> free_buffers;
   std::atomic<std::uint64_t> session{0};
   std::atomic<std::uint64_t> t0_ns{0};
   std::atomic<std::size_t> capacity{std::size_t{1} << 16};
@@ -55,17 +61,50 @@ Registry& registry() {
 
 thread_local ThreadBuffer* tl_buffer = nullptr;
 
+/// Thread-exit hook: returns the thread's buffer to the free list. The
+/// buffer (and its recorded events) stays in Registry::buffers for export;
+/// only *ownership* is recycled, and the next adopting thread re-uses the
+/// lane sequentially — the single-producer invariant holds because the
+/// previous owner has exited before adoption (ordered by Registry::mu).
+struct BufferReleaser {
+  ~BufferReleaser() {
+    if (tl_buffer == nullptr) return;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.free_buffers.push_back(tl_buffer);
+    tl_buffer = nullptr;
+  }
+};
+thread_local BufferReleaser tl_releaser;
+
 ThreadBuffer& local_buffer() {
   Registry& r = registry();
   ThreadBuffer* b = tl_buffer;
   if (b == nullptr) {
-    auto owned = std::make_unique<ThreadBuffer>();
-    b = owned.get();
     std::lock_guard<std::mutex> lk(r.mu);
-    b->tid = static_cast<std::uint32_t>(r.buffers.size());
-    b->name = "thread " + std::to_string(b->tid);
-    r.buffers.push_back(std::move(owned));
+    // Adopt only lanes whose contents belong to a *finished* session.
+    // Sharing a lane within the live session would let a late thread
+    // overwrite the previous owner's events (ring pressure → drops) and
+    // its thread attribution; such lanes stay parked until the next
+    // session resets them.
+    const std::uint64_t live = r.session.load(std::memory_order_acquire);
+    for (std::size_t i = r.free_buffers.size(); i-- > 0;) {
+      if (r.free_buffers[i]->session != live) {
+        b = r.free_buffers[i];
+        r.free_buffers.erase(r.free_buffers.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (b == nullptr) {
+      auto owned = std::make_unique<ThreadBuffer>();
+      b = owned.get();
+      b->tid = static_cast<std::uint32_t>(r.buffers.size());
+      b->name = "thread " + std::to_string(b->tid);
+      r.buffers.push_back(std::move(owned));
+    }
     tl_buffer = b;
+    (void)tl_releaser;  // ODR-use: arm the thread-exit release hook
   }
   const std::uint64_t sid = r.session.load(std::memory_order_acquire);
   if (b->session != sid || b->ring.empty()) {

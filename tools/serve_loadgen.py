@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Load generator for the pi2m_serve daemon.
+
+Speaks the newline-delimited JSON protocol over the daemon's AF_UNIX
+socket: submits a batch of phantom meshing jobs from several concurrent
+client threads, polls them to completion, and prints a latency/throughput
+summary (plus the daemon's serve.* metrics). Exits non-zero if any job
+fails or the numbers are inconsistent, so CI can use it as a smoke test.
+
+Usage:
+  tools/serve_loadgen.py --socket /tmp/pi2m.sock \
+      --jobs 12 --clients 4 --phantom ball --size 48 [--delta 1.5]
+      [--priority-mix] [--json OUT.json]
+"""
+
+import argparse
+import json
+import socket
+import statistics
+import sys
+import threading
+import time
+
+
+def request(sock_path, payload, timeout=300.0):
+    """One request/response round-trip; payload is a dict."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode())
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", required=True)
+    ap.add_argument("--jobs", type=int, default=12)
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--phantom", default="ball")
+    ap.add_argument("--size", type=int, default=48)
+    ap.add_argument("--delta", type=float, default=0.0,
+                    help="refinement delta (daemon default when omitted)")
+    ap.add_argument("--priority-mix", action="store_true",
+                    help="rotate submissions over high/normal/low")
+    ap.add_argument("--poll-sec", type=float, default=0.05)
+    ap.add_argument("--json", default="",
+                    help="write the summary as JSON to this path")
+    args = ap.parse_args()
+
+    ping = request(args.socket, {"op": "ping"})
+    if not ping.get("ok"):
+        print(f"loadgen: daemon not responding: {ping}", file=sys.stderr)
+        return 1
+
+    job = {"phantom": args.phantom, "size": args.size}
+    if args.delta > 0:
+        job["delta"] = args.delta
+    priorities = ["high", "normal", "low"] if args.priority_mix else ["normal"]
+
+    lock = threading.Lock()
+    accepted = []   # (id, submit_time)
+    rejected = []
+
+    def submit_worker(worker, count):
+        for i in range(count):
+            req = {"op": "submit", "job": job,
+                   "priority": priorities[(worker + i) % len(priorities)]}
+            t0 = time.monotonic()
+            resp = request(args.socket, req)
+            with lock:
+                if resp.get("ok"):
+                    accepted.append((resp["id"], t0))
+                else:
+                    rejected.append(resp.get("code", "?"))
+
+    per_client = [args.jobs // args.clients] * args.clients
+    for i in range(args.jobs % args.clients):
+        per_client[i] += 1
+    wall0 = time.monotonic()
+    threads = [threading.Thread(target=submit_worker, args=(w, n))
+               for w, n in enumerate(per_client)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # Poll every accepted job to a terminal state.
+    latencies, states = [], {}
+    pending = dict(accepted)
+    while pending:
+        for jid in list(pending):
+            st = request(args.socket, {"op": "status", "id": jid})
+            state = st.get("state")
+            if state in ("done", "failed", "cancelled"):
+                latencies.append(time.monotonic() - pending.pop(jid))
+                states[jid] = state
+        if pending:
+            time.sleep(args.poll_sec)
+    wall = time.monotonic() - wall0
+
+    stats = request(args.socket, {"op": "stats"}).get("metrics", {})
+    done = sum(1 for s in states.values() if s == "done")
+    failed = len(states) - done
+    summary = {
+        "jobs_submitted": args.jobs,
+        "jobs_accepted": len(accepted),
+        "jobs_rejected": len(rejected),
+        "jobs_done": done,
+        "jobs_failed_or_cancelled": failed,
+        "wall_sec": round(wall, 4),
+        "jobs_per_sec": round(done / wall, 3) if wall > 0 else 0.0,
+        "latency_sec": {
+            "mean": round(statistics.mean(latencies), 4) if latencies else 0,
+            "p50": round(statistics.median(latencies), 4) if latencies else 0,
+            "max": round(max(latencies), 4) if latencies else 0,
+        },
+        "serve_metrics": {k: v for k, v in sorted(stats.items())
+                          if k.startswith(("serve.jobs", "serve.edt_cache",
+                                           "serve.latency.mesh.p"))},
+    }
+    print(json.dumps(summary, indent=2))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(summary, f, indent=2)
+
+    if failed or not latencies:
+        print("loadgen: some jobs did not complete", file=sys.stderr)
+        return 1
+    # Rejections are only acceptable as explicit overload backpressure.
+    if any(code != "REJECTED_OVERLOAD" for code in rejected):
+        print(f"loadgen: unexpected rejections: {rejected}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
