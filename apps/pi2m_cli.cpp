@@ -21,6 +21,7 @@
 
 #include "io/image_io.hpp"
 #include "pipeline/mesh_job.hpp"
+#include "support/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -48,6 +49,9 @@ void usage() {
       "                          baseline; results are identical either way)\n"
       "  --reference-walks       use the scalar-sampling oracle walks instead\n"
       "                          of the voxel-DDA traversal (A/B baseline)\n"
+      "  --no-simd               force the scalar predicate-filter dispatch\n"
+      "                          (A/B baseline; classifications are identical\n"
+      "                          either way; PI2M_SIMD=scalar|avx2 also works)\n"
       "\n"
       "scheduler:\n"
       "  --topology auto|CxS     'auto' probes the host's real socket layout\n"
@@ -143,6 +147,8 @@ std::optional<Args> parse(int argc, char** argv) {
       s.mesh.use_geom_cache = false;
     } else if (key == "--reference-walks") {
       s.mesh.use_reference_walks = true;
+    } else if (key == "--no-simd") {
+      pi2m::simd::force_simd_level(pi2m::simd::Level::kScalar);
     } else if (key == "--topology") {
       s.topology_desc = next();
       if (s.topology_desc == "auto") {

@@ -189,30 +189,38 @@ std::optional<Vec3> IsosurfaceOracle::closest_surface_point(
       const std::ptrdiff_t fidx =
           fc[2] * stride[2] + fc[1] * stride[1] + fc[0];
       const Label lq = data[fidx];
-      for (int ax = 0; ax < 3; ++ax) {
-        for (int s = -1; s <= 1; s += 2) {
-          const int nc = fc[ax] + s;
-          const Label ln = (nc < 0 || nc >= n[ax])
-                               ? Label{0}  // outside the slab: background
-                               : data[fidx + s * stride[ax]];
-          if (ln == lq) continue;
-          double cand[3];
-          double d2 = 0.0;
-          for (int oax = 0; oax < 3; ++oax) {
-            if (oax == ax) {
-              cand[oax] = qv[oax] + 0.5 * s * spv[oax];  // the face plane
-            } else {
-              cand[oax] = std::clamp(pv[oax], qv[oax] - 0.5 * spv[oax],
-                                     qv[oax] + 0.5 * spv[oax]);
-            }
-            const double dd = cand[oax] - pv[oax];
-            d2 += dd * dd;
-          }
-          if (d2 < best2) {
-            best2 = d2;
-            best = {cand[0], cand[1], cand[2]};
-            have_face = true;
-          }
+      // The box-clamped coordinates are shared by every candidate whose
+      // face is on another axis: hoist them (and their squared offsets)
+      // once, then evaluate all six face candidates as a flat
+      // distance/comparison sweep — only the label gate stays per
+      // candidate. Per-candidate term order matches the historical
+      // accumulation loop, so the selected candidate is unchanged.
+      double cl[3], e2[3];
+      for (int oax = 0; oax < 3; ++oax) {
+        cl[oax] = std::clamp(pv[oax], qv[oax] - 0.5 * spv[oax],
+                             qv[oax] + 0.5 * spv[oax]);
+        const double dd = cl[oax] - pv[oax];
+        e2[oax] = dd * dd;
+      }
+      for (int cand6 = 0; cand6 < 6; ++cand6) {
+        const int ax = cand6 >> 1;
+        const int s = (cand6 & 1) ? 1 : -1;
+        const int nc = fc[ax] + s;
+        const Label ln = (nc < 0 || nc >= n[ax])
+                             ? Label{0}  // outside the slab: background
+                             : data[fidx + s * stride[ax]];
+        if (ln == lq) continue;
+        const double face = qv[ax] + 0.5 * s * spv[ax];  // the face plane
+        const double fd = face - pv[ax];
+        const double fterm = fd * fd;
+        const double d2 = (ax == 0 ? fterm : e2[0]) +
+                          (ax == 1 ? fterm : e2[1]) +
+                          (ax == 2 ? fterm : e2[2]);
+        if (d2 < best2) {
+          best2 = d2;
+          best = {ax == 0 ? face : cl[0], ax == 1 ? face : cl[1],
+                  ax == 2 ? face : cl[2]};
+          have_face = true;
         }
       }
     }

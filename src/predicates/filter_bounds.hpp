@@ -1,0 +1,31 @@
+// Shared static-filter error-bound constants for the scalar and SIMD
+// predicate paths.
+//
+// Both predicates.cpp (scalar adaptive ladder) and predicates_simd.cpp
+// (batched stage-A filter) must use bit-identical bounds: the SIMD filter
+// promises that any lane it certifies would also have been certified with
+// the same sign by the scalar stage A. Keeping the constants in one header
+// makes it impossible for the two copies to drift.
+//
+// Values are Shewchuk's ("Adaptive Precision Floating-Point Arithmetic and
+// Fast Robust Geometric Predicates", 1997, §4.3 orient3d, §4.4 insphere).
+// Stage A bounds the straightforward double evaluation including the
+// initial coordinate translations; stage B bounds the evaluation whose
+// initial translations are taken as exact (tails dropped); stage C
+// additionally accounts for the translation tails to first order.
+#pragma once
+
+namespace pi2m::filter_bounds {
+
+/// Machine epsilon for round-to-nearest doubles (Shewchuk's epsilon = 2^-53).
+inline constexpr double kEps = 1.1102230246251565e-16;
+
+inline constexpr double kResultErrBound = (3.0 + 8.0 * kEps) * kEps;
+inline constexpr double kO3dErrBoundA = (7.0 + 56.0 * kEps) * kEps;
+inline constexpr double kO3dErrBoundB = (3.0 + 28.0 * kEps) * kEps;
+inline constexpr double kO3dErrBoundC = (26.0 + 288.0 * kEps) * kEps * kEps;
+inline constexpr double kIspErrBoundA = (16.0 + 224.0 * kEps) * kEps;
+inline constexpr double kIspErrBoundB = (5.0 + 72.0 * kEps) * kEps;
+inline constexpr double kIspErrBoundC = (71.0 + 1408.0 * kEps) * kEps * kEps;
+
+}  // namespace pi2m::filter_bounds

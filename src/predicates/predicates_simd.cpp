@@ -1,0 +1,463 @@
+#include "predicates/predicates_simd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "predicates/filter_bounds.hpp"
+#include "predicates/predicates.hpp"
+#include "support/common.hpp"
+#include "support/simd.hpp"
+
+#if PI2M_SIMD_AVX2
+#include <immintrin.h>
+#endif
+
+namespace pi2m {
+namespace {
+
+using filter_bounds::kIspErrBoundA;
+using filter_bounds::kO3dErrBoundA;
+
+// Per-thread padded counter slots, same contention-free scheme as the
+// scalar predicate counters (see predicates.cpp for the rationale).
+enum CounterIndex : int {
+  kO3dBatches = 0,
+  kO3dLanes = 1,
+  kO3dFallback = 2,
+  kIspBatches = 3,
+  kIspLanes = 4,
+  kIspFallback = 5,
+};
+
+struct alignas(64) CounterSlot {
+  std::atomic<std::uint64_t> c[8];  // 64 bytes: one cache line per slot
+};
+constexpr std::size_t kCounterSlots = 256;
+CounterSlot g_counters[kCounterSlots];
+
+CounterSlot& my_counter_slot() {
+  static std::atomic<std::uint32_t> g_next_slot{0};
+  thread_local const std::uint32_t idx =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed) &
+      (kCounterSlots - 1);
+  return g_counters[idx];
+}
+
+inline void bump(CounterSlot& slot, int which, std::uint64_t by) {
+  std::atomic<std::uint64_t>& c = slot.c[which];
+  c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
+}
+
+std::uint64_t sum_counters(int which) {
+  std::uint64_t total = 0;
+  for (const CounterSlot& s : g_counters) {
+    total += s.c[which].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Stage-A filter kernels. Each evaluates lanes [0, n), writes certified
+// signs, and returns the bitmask of lanes the filter could NOT certify.
+// The scalar and AVX2 bodies perform the same operations in the same order
+// with no FMA contraction, so both compute bit-identical det/permanent
+// values and certify the identical lane set.
+// ---------------------------------------------------------------------------
+
+unsigned orient3d_filter_scalar(const Orient3dBatch& b, int n, int* signs) {
+  unsigned fail = 0;
+  for (int i = 0; i < n; ++i) {
+    const double adx = b.ax[i] - b.dx[i], ady = b.ay[i] - b.dy[i],
+                 adz = b.az[i] - b.dz[i];
+    const double bdx = b.bx[i] - b.dx[i], bdy = b.by[i] - b.dy[i],
+                 bdz = b.bz[i] - b.dz[i];
+    const double cdx = b.cx[i] - b.dx[i], cdy = b.cy[i] - b.dy[i],
+                 cdz = b.cz[i] - b.dz[i];
+
+    const double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+    const double cdxady = cdx * ady, adxcdy = adx * cdy;
+    const double adxbdy = adx * bdy, bdxady = bdx * ady;
+
+    const double det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) +
+                       cdz * (adxbdy - bdxady);
+    const double permanent =
+        (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * std::fabs(adz) +
+        (std::fabs(cdxady) + std::fabs(adxcdy)) * std::fabs(bdz) +
+        (std::fabs(adxbdy) + std::fabs(bdxady)) * std::fabs(cdz);
+    const double errbound = kO3dErrBoundA * permanent;
+    if (det > errbound || -det > errbound) {
+      signs[i] = (det > 0.0) - (det < 0.0);
+    } else {
+      fail |= 1u << i;
+    }
+  }
+  return fail;
+}
+
+unsigned insphere_filter_scalar(const InsphereBatch& b, int n, int* signs) {
+  unsigned fail = 0;
+  for (int i = 0; i < n; ++i) {
+    const double aex = b.ax[i] - b.ex[i], aey = b.ay[i] - b.ey[i],
+                 aez = b.az[i] - b.ez[i];
+    const double bex = b.bx[i] - b.ex[i], bey = b.by[i] - b.ey[i],
+                 bez = b.bz[i] - b.ez[i];
+    const double cex = b.cx[i] - b.ex[i], cey = b.cy[i] - b.ey[i],
+                 cez = b.cz[i] - b.ez[i];
+    const double dex = b.dx[i] - b.ex[i], dey = b.dy[i] - b.ey[i],
+                 dez = b.dz[i] - b.ez[i];
+
+    const double aexbey = aex * bey, bexaey = bex * aey;
+    const double bexcey = bex * cey, cexbey = cex * bey;
+    const double cexdey = cex * dey, dexcey = dex * cey;
+    const double dexaey = dex * aey, aexdey = aex * dey;
+    const double aexcey = aex * cey, cexaey = cex * aey;
+    const double bexdey = bex * dey, dexbey = dex * bey;
+
+    const double ab = aexbey - bexaey;
+    const double bc = bexcey - cexbey;
+    const double cd = cexdey - dexcey;
+    const double da = dexaey - aexdey;
+    const double ac = aexcey - cexaey;
+    const double bd = bexdey - dexbey;
+
+    const double abc = aez * bc - bez * ac + cez * ab;
+    const double bcd = bez * cd - cez * bd + dez * bc;
+    const double cda = cez * da + dez * ac + aez * cd;
+    const double dab = dez * ab + aez * bd + bez * da;
+
+    const double alift = aex * aex + aey * aey + aez * aez;
+    const double blift = bex * bex + bey * bey + bez * bez;
+    const double clift = cex * cex + cey * cey + cez * cez;
+    const double dlift = dex * dex + dey * dey + dez * dez;
+
+    const double det =
+        (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+    const double aezplus = std::fabs(aez), bezplus = std::fabs(bez);
+    const double cezplus = std::fabs(cez), dezplus = std::fabs(dez);
+    const double aexbeyplus = std::fabs(aexbey), bexaeyplus = std::fabs(bexaey);
+    const double bexceyplus = std::fabs(bexcey), cexbeyplus = std::fabs(cexbey);
+    const double cexdeyplus = std::fabs(cexdey), dexceyplus = std::fabs(dexcey);
+    const double dexaeyplus = std::fabs(dexaey), aexdeyplus = std::fabs(aexdey);
+    const double aexceyplus = std::fabs(aexcey), cexaeyplus = std::fabs(cexaey);
+    const double bexdeyplus = std::fabs(bexdey), dexbeyplus = std::fabs(dexbey);
+
+    const double permanent =
+        ((cexdeyplus + dexceyplus) * bezplus +
+         (dexbeyplus + bexdeyplus) * cezplus +
+         (bexceyplus + cexbeyplus) * dezplus) * alift +
+        ((dexaeyplus + aexdeyplus) * cezplus +
+         (aexceyplus + cexaeyplus) * dezplus +
+         (cexdeyplus + dexceyplus) * aezplus) * blift +
+        ((aexbeyplus + bexaeyplus) * dezplus +
+         (bexdeyplus + dexbeyplus) * aezplus +
+         (dexaeyplus + aexdeyplus) * bezplus) * clift +
+        ((bexceyplus + cexbeyplus) * aezplus +
+         (cexaeyplus + aexceyplus) * bezplus +
+         (aexbeyplus + bexaeyplus) * cezplus) * dlift;
+    const double errbound = kIspErrBoundA * permanent;
+    if (det > errbound || -det > errbound) {
+      signs[i] = (det > 0.0) - (det < 0.0);
+    } else {
+      fail |= 1u << i;
+    }
+  }
+  return fail;
+}
+
+#if PI2M_SIMD_AVX2
+
+// Per-function target attribute: the TU is compiled for the baseline arch;
+// only these kernels emit AVX2, and dispatch guarantees they never run on
+// hardware without it. NOTE: only _mm256_mul_pd/_mm256_add_pd/_mm256_sub_pd
+// here — an FMA would change the rounding versus the -ffp-contract=off
+// scalar filter and break the identical-certified-set property.
+
+__attribute__((target("avx2"))) unsigned orient3d_filter_avx2(
+    const Orient3dBatch& b, int n, int* signs) {
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x7FFFFFFFFFFFFFFFULL)));
+  const __m256d err_a = _mm256_set1_pd(kO3dErrBoundA);
+  unsigned fail = 0;
+  for (int base = 0; base < n; base += 4) {
+    const __m256d ddx = _mm256_loadu_pd(b.dx + base);
+    const __m256d ddy = _mm256_loadu_pd(b.dy + base);
+    const __m256d ddz = _mm256_loadu_pd(b.dz + base);
+    const __m256d adx = _mm256_sub_pd(_mm256_loadu_pd(b.ax + base), ddx);
+    const __m256d ady = _mm256_sub_pd(_mm256_loadu_pd(b.ay + base), ddy);
+    const __m256d adz = _mm256_sub_pd(_mm256_loadu_pd(b.az + base), ddz);
+    const __m256d bdx = _mm256_sub_pd(_mm256_loadu_pd(b.bx + base), ddx);
+    const __m256d bdy = _mm256_sub_pd(_mm256_loadu_pd(b.by + base), ddy);
+    const __m256d bdz = _mm256_sub_pd(_mm256_loadu_pd(b.bz + base), ddz);
+    const __m256d cdx = _mm256_sub_pd(_mm256_loadu_pd(b.cx + base), ddx);
+    const __m256d cdy = _mm256_sub_pd(_mm256_loadu_pd(b.cy + base), ddy);
+    const __m256d cdz = _mm256_sub_pd(_mm256_loadu_pd(b.cz + base), ddz);
+
+    const __m256d bdxcdy = _mm256_mul_pd(bdx, cdy);
+    const __m256d cdxbdy = _mm256_mul_pd(cdx, bdy);
+    const __m256d cdxady = _mm256_mul_pd(cdx, ady);
+    const __m256d adxcdy = _mm256_mul_pd(adx, cdy);
+    const __m256d adxbdy = _mm256_mul_pd(adx, bdy);
+    const __m256d bdxady = _mm256_mul_pd(bdx, ady);
+
+    const __m256d det = _mm256_add_pd(
+        _mm256_add_pd(
+            _mm256_mul_pd(adz, _mm256_sub_pd(bdxcdy, cdxbdy)),
+            _mm256_mul_pd(bdz, _mm256_sub_pd(cdxady, adxcdy))),
+        _mm256_mul_pd(cdz, _mm256_sub_pd(adxbdy, bdxady)));
+
+    const __m256d permanent = _mm256_add_pd(
+        _mm256_add_pd(
+            _mm256_mul_pd(
+                _mm256_add_pd(_mm256_and_pd(bdxcdy, abs_mask),
+                              _mm256_and_pd(cdxbdy, abs_mask)),
+                _mm256_and_pd(adz, abs_mask)),
+            _mm256_mul_pd(
+                _mm256_add_pd(_mm256_and_pd(cdxady, abs_mask),
+                              _mm256_and_pd(adxcdy, abs_mask)),
+                _mm256_and_pd(bdz, abs_mask))),
+        _mm256_mul_pd(
+            _mm256_add_pd(_mm256_and_pd(adxbdy, abs_mask),
+                          _mm256_and_pd(bdxady, abs_mask)),
+            _mm256_and_pd(cdz, abs_mask)));
+
+    const __m256d errbound = _mm256_mul_pd(err_a, permanent);
+    // Certified <=> det > errbound OR -det > errbound (strict, matching
+    // the scalar filter; NaN-safe ordered compares fail both sides).
+    const __m256d pos = _mm256_cmp_pd(det, errbound, _CMP_GT_OQ);
+    const __m256d neg = _mm256_cmp_pd(
+        _mm256_sub_pd(_mm256_setzero_pd(), det), errbound, _CMP_GT_OQ);
+    const unsigned pos_mask = static_cast<unsigned>(_mm256_movemask_pd(pos));
+    const unsigned neg_mask = static_cast<unsigned>(_mm256_movemask_pd(neg));
+    const unsigned certified = pos_mask | neg_mask;
+    const int limit = (n - base < 4) ? n - base : 4;
+    for (int k = 0; k < limit; ++k) {
+      if (certified & (1u << k)) {
+        signs[base + k] = (pos_mask & (1u << k)) ? 1 : -1;
+      } else {
+        fail |= 1u << (base + k);
+      }
+    }
+  }
+  return fail;
+}
+
+__attribute__((target("avx2"))) unsigned insphere_filter_avx2(
+    const InsphereBatch& b, int n, int* signs) {
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x7FFFFFFFFFFFFFFFULL)));
+  const __m256d err_a = _mm256_set1_pd(kIspErrBoundA);
+  unsigned fail = 0;
+  for (int base = 0; base < n; base += 4) {
+    const __m256d eex = _mm256_loadu_pd(b.ex + base);
+    const __m256d eey = _mm256_loadu_pd(b.ey + base);
+    const __m256d eez = _mm256_loadu_pd(b.ez + base);
+    const __m256d aex = _mm256_sub_pd(_mm256_loadu_pd(b.ax + base), eex);
+    const __m256d aey = _mm256_sub_pd(_mm256_loadu_pd(b.ay + base), eey);
+    const __m256d aez = _mm256_sub_pd(_mm256_loadu_pd(b.az + base), eez);
+    const __m256d bex = _mm256_sub_pd(_mm256_loadu_pd(b.bx + base), eex);
+    const __m256d bey = _mm256_sub_pd(_mm256_loadu_pd(b.by + base), eey);
+    const __m256d bez = _mm256_sub_pd(_mm256_loadu_pd(b.bz + base), eez);
+    const __m256d cex = _mm256_sub_pd(_mm256_loadu_pd(b.cx + base), eex);
+    const __m256d cey = _mm256_sub_pd(_mm256_loadu_pd(b.cy + base), eey);
+    const __m256d cez = _mm256_sub_pd(_mm256_loadu_pd(b.cz + base), eez);
+    const __m256d dex = _mm256_sub_pd(_mm256_loadu_pd(b.dx + base), eex);
+    const __m256d dey = _mm256_sub_pd(_mm256_loadu_pd(b.dy + base), eey);
+    const __m256d dez = _mm256_sub_pd(_mm256_loadu_pd(b.dz + base), eez);
+
+    const __m256d aexbey = _mm256_mul_pd(aex, bey);
+    const __m256d bexaey = _mm256_mul_pd(bex, aey);
+    const __m256d bexcey = _mm256_mul_pd(bex, cey);
+    const __m256d cexbey = _mm256_mul_pd(cex, bey);
+    const __m256d cexdey = _mm256_mul_pd(cex, dey);
+    const __m256d dexcey = _mm256_mul_pd(dex, cey);
+    const __m256d dexaey = _mm256_mul_pd(dex, aey);
+    const __m256d aexdey = _mm256_mul_pd(aex, dey);
+    const __m256d aexcey = _mm256_mul_pd(aex, cey);
+    const __m256d cexaey = _mm256_mul_pd(cex, aey);
+    const __m256d bexdey = _mm256_mul_pd(bex, dey);
+    const __m256d dexbey = _mm256_mul_pd(dex, bey);
+
+    const __m256d ab = _mm256_sub_pd(aexbey, bexaey);
+    const __m256d bc = _mm256_sub_pd(bexcey, cexbey);
+    const __m256d cd = _mm256_sub_pd(cexdey, dexcey);
+    const __m256d da = _mm256_sub_pd(dexaey, aexdey);
+    const __m256d ac = _mm256_sub_pd(aexcey, cexaey);
+    const __m256d bd = _mm256_sub_pd(bexdey, dexbey);
+
+    const __m256d abc = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_mul_pd(aez, bc), _mm256_mul_pd(bez, ac)),
+        _mm256_mul_pd(cez, ab));
+    const __m256d bcd = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_mul_pd(bez, cd), _mm256_mul_pd(cez, bd)),
+        _mm256_mul_pd(dez, bc));
+    const __m256d cda = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(cez, da), _mm256_mul_pd(dez, ac)),
+        _mm256_mul_pd(aez, cd));
+    const __m256d dab = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dez, ab), _mm256_mul_pd(aez, bd)),
+        _mm256_mul_pd(bez, da));
+
+    const __m256d alift = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(aex, aex), _mm256_mul_pd(aey, aey)),
+        _mm256_mul_pd(aez, aez));
+    const __m256d blift = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(bex, bex), _mm256_mul_pd(bey, bey)),
+        _mm256_mul_pd(bez, bez));
+    const __m256d clift = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(cex, cex), _mm256_mul_pd(cey, cey)),
+        _mm256_mul_pd(cez, cez));
+    const __m256d dlift = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(dex, dex), _mm256_mul_pd(dey, dey)),
+        _mm256_mul_pd(dez, dez));
+
+    const __m256d det = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_mul_pd(dlift, abc), _mm256_mul_pd(clift, dab)),
+        _mm256_sub_pd(_mm256_mul_pd(blift, cda), _mm256_mul_pd(alift, bcd)));
+
+    const __m256d aezplus = _mm256_and_pd(aez, abs_mask);
+    const __m256d bezplus = _mm256_and_pd(bez, abs_mask);
+    const __m256d cezplus = _mm256_and_pd(cez, abs_mask);
+    const __m256d dezplus = _mm256_and_pd(dez, abs_mask);
+    const __m256d aexbeyplus = _mm256_and_pd(aexbey, abs_mask);
+    const __m256d bexaeyplus = _mm256_and_pd(bexaey, abs_mask);
+    const __m256d bexceyplus = _mm256_and_pd(bexcey, abs_mask);
+    const __m256d cexbeyplus = _mm256_and_pd(cexbey, abs_mask);
+    const __m256d cexdeyplus = _mm256_and_pd(cexdey, abs_mask);
+    const __m256d dexceyplus = _mm256_and_pd(dexcey, abs_mask);
+    const __m256d dexaeyplus = _mm256_and_pd(dexaey, abs_mask);
+    const __m256d aexdeyplus = _mm256_and_pd(aexdey, abs_mask);
+    const __m256d aexceyplus = _mm256_and_pd(aexcey, abs_mask);
+    const __m256d cexaeyplus = _mm256_and_pd(cexaey, abs_mask);
+    const __m256d bexdeyplus = _mm256_and_pd(bexdey, abs_mask);
+    const __m256d dexbeyplus = _mm256_and_pd(dexbey, abs_mask);
+
+    const __m256d perm_a = _mm256_mul_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_mul_pd(_mm256_add_pd(cexdeyplus, dexceyplus), bezplus),
+                _mm256_mul_pd(_mm256_add_pd(dexbeyplus, bexdeyplus), cezplus)),
+            _mm256_mul_pd(_mm256_add_pd(bexceyplus, cexbeyplus), dezplus)),
+        alift);
+    const __m256d perm_b = _mm256_mul_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_mul_pd(_mm256_add_pd(dexaeyplus, aexdeyplus), cezplus),
+                _mm256_mul_pd(_mm256_add_pd(aexceyplus, cexaeyplus), dezplus)),
+            _mm256_mul_pd(_mm256_add_pd(cexdeyplus, dexceyplus), aezplus)),
+        blift);
+    const __m256d perm_c = _mm256_mul_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_mul_pd(_mm256_add_pd(aexbeyplus, bexaeyplus), dezplus),
+                _mm256_mul_pd(_mm256_add_pd(bexdeyplus, dexbeyplus), aezplus)),
+            _mm256_mul_pd(_mm256_add_pd(dexaeyplus, aexdeyplus), bezplus)),
+        clift);
+    const __m256d perm_d = _mm256_mul_pd(
+        _mm256_add_pd(
+            _mm256_add_pd(
+                _mm256_mul_pd(_mm256_add_pd(bexceyplus, cexbeyplus), aezplus),
+                _mm256_mul_pd(_mm256_add_pd(cexaeyplus, aexceyplus), bezplus)),
+            _mm256_mul_pd(_mm256_add_pd(aexbeyplus, bexaeyplus), cezplus)),
+        dlift);
+    const __m256d permanent = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(perm_a, perm_b), perm_c), perm_d);
+
+    const __m256d errbound = _mm256_mul_pd(err_a, permanent);
+    const __m256d pos = _mm256_cmp_pd(det, errbound, _CMP_GT_OQ);
+    const __m256d neg = _mm256_cmp_pd(
+        _mm256_sub_pd(_mm256_setzero_pd(), det), errbound, _CMP_GT_OQ);
+    const unsigned pos_mask = static_cast<unsigned>(_mm256_movemask_pd(pos));
+    const unsigned neg_mask = static_cast<unsigned>(_mm256_movemask_pd(neg));
+    const unsigned certified = pos_mask | neg_mask;
+    const int limit = (n - base < 4) ? n - base : 4;
+    for (int k = 0; k < limit; ++k) {
+      if (certified & (1u << k)) {
+        signs[base + k] = (pos_mask & (1u << k)) ? 1 : -1;
+      } else {
+        fail |= 1u << (base + k);
+      }
+    }
+  }
+  return fail;
+}
+
+#endif  // PI2M_SIMD_AVX2
+
+inline unsigned run_orient3d_filter(const Orient3dBatch& b, int n,
+                                    int* signs) {
+#if PI2M_SIMD_AVX2
+  if (simd::active_level() == simd::Level::kAvx2) {
+    return orient3d_filter_avx2(b, n, signs);
+  }
+#endif
+  return orient3d_filter_scalar(b, n, signs);
+}
+
+inline unsigned run_insphere_filter(const InsphereBatch& b, int n,
+                                    int* signs) {
+#if PI2M_SIMD_AVX2
+  if (simd::active_level() == simd::Level::kAvx2) {
+    return insphere_filter_avx2(b, n, signs);
+  }
+#endif
+  return insphere_filter_scalar(b, n, signs);
+}
+
+}  // namespace
+
+int orient3d_batch(const Orient3dBatch& b, int n, int* signs) {
+  PI2M_CHECK(n >= 1 && n <= Orient3dBatch::kMaxLanes,
+             "orient3d_batch lane count out of range");
+  CounterSlot& counters = my_counter_slot();
+  bump(counters, kO3dBatches, 1);
+  bump(counters, kO3dLanes, static_cast<std::uint64_t>(n));
+
+  unsigned fail = run_orient3d_filter(b, n, signs);
+  if (fail == 0) return 0;
+  int nfail = 0;
+  for (int i = 0; i < n; ++i) {
+    if (fail & (1u << i)) {
+      signs[i] = orient3d(b.a_of(i), b.b_of(i), b.c_of(i), b.d_of(i));
+      ++nfail;
+    }
+  }
+  bump(counters, kO3dFallback, static_cast<std::uint64_t>(nfail));
+  return nfail;
+}
+
+int insphere_batch(const InsphereBatch& b, int n, int* signs) {
+  PI2M_CHECK(n >= 1 && n <= InsphereBatch::kMaxLanes,
+             "insphere_batch lane count out of range");
+  CounterSlot& counters = my_counter_slot();
+  bump(counters, kIspBatches, 1);
+  bump(counters, kIspLanes, static_cast<std::uint64_t>(n));
+
+  unsigned fail = run_insphere_filter(b, n, signs);
+  if (fail == 0) return 0;
+  int nfail = 0;
+  for (int i = 0; i < n; ++i) {
+    if (fail & (1u << i)) {
+      signs[i] =
+          insphere(b.a_of(i), b.b_of(i), b.c_of(i), b.d_of(i), b.e_of(i));
+      ++nfail;
+    }
+  }
+  bump(counters, kIspFallback, static_cast<std::uint64_t>(nfail));
+  return nfail;
+}
+
+SimdPredicateCounters simd_predicate_counters() {
+  return {sum_counters(kO3dBatches), sum_counters(kO3dLanes),
+          sum_counters(kO3dFallback), sum_counters(kIspBatches),
+          sum_counters(kIspLanes),   sum_counters(kIspFallback)};
+}
+
+void reset_simd_predicate_counters() {
+  for (CounterSlot& s : g_counters) {
+    for (auto& c : s.c) c.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pi2m

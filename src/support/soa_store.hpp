@@ -1,0 +1,84 @@
+// SoA coordinate mirror for the vertex arena.
+//
+// The Vertex record interleaves the position with the atomic owner word
+// (the per-vertex try-lock) and the dead flag, so under contention every
+// position read shares a cache line with lock traffic from other threads.
+// The mirror stores coordinates as packed x/y/z lanes per 256-slot block:
+// the lines it occupies are written exactly once (at vertex creation,
+// positions are immutable afterwards) and then stay in the shared state of
+// every core's cache — no invalidations from locking, and batched
+// predicate gathers read from lanes that vector loads can use directly.
+//
+// Coherence contract: set(id, p) is called by the single creating thread
+// BEFORE the vertex is published (the owner release-store in
+// create_vertex). Readers only learn vertex ids through acquire loads that
+// read from that store chain (cell v[] snapshots, locate walks), so by
+// the existing happens-before edges the mirror write is visible whenever
+// the id is. Block installation uses the same lock-free CAS scheme as
+// ChunkedStore. Verified under 1/2/4-thread churn by the sanitize-labelled
+// SoA coherence tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "support/common.hpp"
+
+namespace pi2m {
+
+class SoaCoordStore {
+ public:
+  static constexpr std::size_t kBlockBits = 8;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+
+  struct alignas(64) Block {
+    double x[kBlockSize];
+    double y[kBlockSize];
+    double z[kBlockSize];
+  };
+
+  explicit SoaCoordStore(std::size_t max_elems)
+      : blocks_((max_elems + kBlockSize - 1) / kBlockSize + 1) {
+    for (auto& b : blocks_) b.store(nullptr, std::memory_order_relaxed);
+  }
+  ~SoaCoordStore() {
+    for (auto& b : blocks_) delete b.load(std::memory_order_relaxed);
+  }
+  SoaCoordStore(const SoaCoordStore&) = delete;
+  SoaCoordStore& operator=(const SoaCoordStore&) = delete;
+
+  /// Single-writer per id, before the id is published (see header comment).
+  void set(std::uint32_t id, const Vec3& p) {
+    Block* b = ensure_block(id >> kBlockBits);
+    const std::size_t s = id & (kBlockSize - 1);
+    b->x[s] = p.x;
+    b->y[s] = p.y;
+    b->z[s] = p.z;
+  }
+
+  [[nodiscard]] Vec3 get(std::uint32_t id) const {
+    const Block* b = blocks_[id >> kBlockBits].load(std::memory_order_acquire);
+    const std::size_t s = id & (kBlockSize - 1);
+    return {b->x[s], b->y[s], b->z[s]};
+  }
+
+ private:
+  Block* ensure_block(std::size_t bi) {
+    Block* b = blocks_[bi].load(std::memory_order_acquire);
+    if (b != nullptr) return b;
+    Block* fresh = new Block();
+    Block* expected = nullptr;
+    if (blocks_[bi].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    delete fresh;  // another thread won the race
+    return expected;
+  }
+
+  mutable std::vector<std::atomic<Block*>> blocks_;
+};
+
+}  // namespace pi2m

@@ -1,0 +1,309 @@
+// Batched-predicate and SoA-mirror validation: lane-vs-scalar parity of the
+// SIMD stage-A filters on a torture corpus (near-degenerate, exactly
+// cospherical, huge/tiny magnitudes), dispatch-override semantics, and
+// coherence of the arena's SoA coordinate mirror under concurrent churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "delaunay/mesh.hpp"
+#include "delaunay/operations.hpp"
+#include "predicates/predicates.hpp"
+#include "predicates/predicates_simd.hpp"
+#include "support/simd.hpp"
+
+namespace pi2m {
+namespace {
+
+/// Every test leaves dispatch in environment/CPUID-driven mode.
+struct SimdOverrideGuard {
+  ~SimdOverrideGuard() { simd::clear_simd_override(); }
+};
+
+struct O3dCase {
+  Vec3 a, b, c, d;
+};
+struct IspCase {
+  Vec3 a, b, c, d, e;
+};
+
+/// Corpus shared by the parity tests: random tuples plus the adversarial
+/// families that defeat (or barely pass) the stage-A filter.
+std::vector<O3dCase> orient3d_corpus() {
+  std::vector<O3dCase> cases;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const auto rnd = [&] { return Vec3{u(rng), u(rng), u(rng)}; };
+  for (int i = 0; i < 256; ++i) cases.push_back({rnd(), rnd(), rnd(), rnd()});
+  // Near-degenerate: coplanar base, apex perturbed by ever-smaller amounts
+  // (including exactly zero and sub-errbound offsets the filter cannot
+  // certify).
+  for (const double dz :
+       {0.0, 1e-300, -1e-300, DBL_MIN, 1e-18, -1e-18, 1e-12, DBL_EPSILON}) {
+    cases.push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.3, 0.4, dz}});
+    cases.push_back(
+        {{0.1, 0.2, 0.3}, {1.1, 0.2, 0.3}, {0.1, 1.2, 0.3}, {0.5, 0.6, 0.3 + dz}});
+  }
+  // Huge and tiny magnitudes (the filter's relative error bound must scale,
+  // and overflow/underflow must fail the filter rather than mis-certify).
+  for (const double s : {1e50, 1e-50, 1e120, 1e-120}) {
+    for (int i = 0; i < 16; ++i) {
+      cases.push_back({s * rnd(), s * rnd(), s * rnd(), s * rnd()});
+    }
+    cases.push_back(
+        {{0, 0, 0}, {s, 0, 0}, {0, s, 0}, {0.3 * s, 0.4 * s, 0}});
+  }
+  // Mixed magnitudes within one tuple.
+  for (int i = 0; i < 16; ++i) {
+    cases.push_back({1e40 * rnd(), rnd(), 1e-40 * rnd(), rnd()});
+  }
+  return cases;
+}
+
+std::vector<IspCase> insphere_corpus() {
+  std::vector<IspCase> cases;
+  std::mt19937 rng(43);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const auto rnd = [&] { return Vec3{u(rng), u(rng), u(rng)}; };
+  for (int i = 0; i < 256; ++i) {
+    cases.push_back({rnd(), rnd(), rnd(), rnd(), rnd()});
+  }
+  // Exactly cospherical: all eight cube corners lie on one sphere, so the
+  // determinant is exactly zero and only the exact ladder can say so.
+  cases.push_back(
+      {{0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 1, 1}});
+  cases.push_back(
+      {{0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 1, 0}});
+  // Near-cospherical: query point nudged off the sphere by tiny offsets.
+  for (const double dz :
+       {0.0, 1e-300, -1e-300, 1e-18, -1e-18, DBL_EPSILON, -DBL_EPSILON}) {
+    cases.push_back(
+        {{0, 0, 0}, {1, 0, 0}, {0, 0, 1}, {0, 1, 0}, {1, 1, 1 + dz}});
+  }
+  // Huge/tiny magnitudes (insphere's determinant is degree 5, so overflow
+  // kicks in earlier than orient3d's degree 3).
+  for (const double s : {1e40, 1e-40, 1e60}) {
+    for (int i = 0; i < 16; ++i) {
+      cases.push_back({s * rnd(), s * rnd(), s * rnd(), s * rnd(), s * rnd()});
+    }
+  }
+  for (int i = 0; i < 16; ++i) {
+    cases.push_back({1e30 * rnd(), rnd(), 1e-30 * rnd(), rnd(), rnd()});
+  }
+  return cases;
+}
+
+std::vector<simd::Level> levels_under_test() {
+  // Force each level in turn; a clamped request (no AVX2 hardware or
+  // -DPI2M_SIMD=OFF build) simply re-tests the scalar path.
+  return {simd::Level::kScalar, simd::Level::kAvx2};
+}
+
+TEST(SimdParity, Orient3dLaneVsScalarOnTortureCorpus) {
+  SimdOverrideGuard guard;
+  const auto corpus = orient3d_corpus();
+  for (const simd::Level want : levels_under_test()) {
+    simd::force_simd_level(want);
+    SCOPED_TRACE(std::string("level=") + simd::level_name(simd::active_level()));
+    // Every batch width 1..kMaxLanes, sliding over the corpus so each case
+    // appears at every lane position.
+    for (int lanes = 1; lanes <= Orient3dBatch::kMaxLanes; ++lanes) {
+      for (std::size_t base = 0; base + static_cast<std::size_t>(lanes) <=
+                                 corpus.size();
+           base += static_cast<std::size_t>(lanes)) {
+        Orient3dBatch b;
+        for (int k = 0; k < lanes; ++k) {
+          const O3dCase& t = corpus[base + static_cast<std::size_t>(k)];
+          b.set_lane(k, t.a, t.b, t.c, t.d);
+        }
+        int signs[Orient3dBatch::kMaxLanes];
+        orient3d_batch(b, lanes, signs);
+        for (int k = 0; k < lanes; ++k) {
+          const O3dCase& t = corpus[base + static_cast<std::size_t>(k)];
+          ASSERT_EQ(signs[k], orient3d(t.a, t.b, t.c, t.d))
+              << "case " << base + static_cast<std::size_t>(k) << " lane " << k
+              << " of " << lanes;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, InsphereLaneVsScalarOnTortureCorpus) {
+  SimdOverrideGuard guard;
+  const auto corpus = insphere_corpus();
+  for (const simd::Level want : levels_under_test()) {
+    simd::force_simd_level(want);
+    SCOPED_TRACE(std::string("level=") + simd::level_name(simd::active_level()));
+    for (int lanes = 1; lanes <= InsphereBatch::kMaxLanes; ++lanes) {
+      for (std::size_t base = 0; base + static_cast<std::size_t>(lanes) <=
+                                 corpus.size();
+           base += static_cast<std::size_t>(lanes)) {
+        InsphereBatch b;
+        for (int k = 0; k < lanes; ++k) {
+          const IspCase& t = corpus[base + static_cast<std::size_t>(k)];
+          b.set_lane(k, t.a, t.b, t.c, t.d, t.e);
+        }
+        int signs[InsphereBatch::kMaxLanes];
+        insphere_batch(b, lanes, signs);
+        for (int k = 0; k < lanes; ++k) {
+          const IspCase& t = corpus[base + static_cast<std::size_t>(k)];
+          ASSERT_EQ(signs[k], insphere(t.a, t.b, t.c, t.d, t.e))
+              << "case " << base + static_cast<std::size_t>(k) << " lane " << k
+              << " of " << lanes;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, DegenerateLanesFallBackToScalarLadder) {
+  SimdOverrideGuard guard;
+  reset_simd_predicate_counters();
+  // Two certifiable lanes bracketing two exactly-degenerate ones: the batch
+  // must report exactly the uncertifiable lanes as fallbacks and still
+  // return the true (zero) signs for them.
+  Orient3dBatch b;
+  b.set_lane(0, {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1});    // certified
+  b.set_lane(1, {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0.3, 0.4, 0});  // 0, exact
+  b.set_lane(2, {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, -1});   // certified
+  b.set_lane(3, {0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {1.0, 0.5, 0});  // 0, exact
+  int signs[4];
+  const int nfail = orient3d_batch(b, 4, signs);
+  EXPECT_EQ(nfail, 2);
+  EXPECT_EQ(signs[0], orient3d({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}));
+  EXPECT_EQ(signs[1], 0);
+  EXPECT_EQ(signs[2], orient3d({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, -1}));
+  EXPECT_EQ(signs[3], 0);
+  EXPECT_NE(signs[0], 0);
+  EXPECT_EQ(signs[0], -signs[2]);
+  const SimdPredicateCounters c = simd_predicate_counters();
+  EXPECT_EQ(c.orient3d_batches, 1u);
+  EXPECT_EQ(c.orient3d_lanes, 4u);
+  EXPECT_EQ(c.orient3d_fallback, 2u);
+}
+
+TEST(SimdDispatch, ForceAndClearOverride) {
+  SimdOverrideGuard guard;
+  simd::force_simd_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  simd::force_simd_level(simd::Level::kAvx2);
+#if PI2M_SIMD_AVX2
+  // Clamped to hardware support: either honoured or scalar, never invalid.
+  const simd::Level l = simd::active_level();
+  EXPECT_TRUE(l == simd::Level::kAvx2 || l == simd::Level::kScalar);
+  if (__builtin_cpu_supports("avx2")) EXPECT_EQ(l, simd::Level::kAvx2);
+#else
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+#endif
+  simd::clear_simd_override();
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+}
+
+/// Insert/remove churn with concurrent lock-free readers (locate walks read
+/// positions through the SoA mirror), then a full-strength coherence check:
+/// the mirror must agree bit-for-bit with the vertex records.
+void soa_mirror_churn(int writer_threads) {
+  DelaunayMesh mesh({{0, 0, 0}, {1, 1, 1}}, 1 << 16, 1 << 19);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inserts{0};
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < writer_threads; ++t) {
+    pool.emplace_back([&, t] {
+      OpScratch s;
+      std::mt19937 rng(9000 + t);
+      std::uniform_real_distribution<double> u(0.02, 0.98);
+      std::vector<VertexId> mine;
+      CellId hint = 0;
+      for (int i = 0; i < 400; ++i) {
+        if (!mine.empty() && i % 4 == 3) {
+          if (remove_vertex(mesh, mine.back(), t, s).status ==
+              OpStatus::Success) {
+            mine.pop_back();
+          }
+        } else {
+          const OpResult r = insert_point(mesh, {u(rng), u(rng), u(rng)},
+                                          VertexKind::Circumcenter, hint, t, s);
+          if (r.status == OpStatus::Success) {
+            mine.push_back(r.new_vertex);
+            inserts.fetch_add(1, std::memory_order_relaxed);
+            hint = s.created.front();
+          }
+        }
+      }
+    });
+  }
+  // One reader walking concurrently: every step reads coordinates through
+  // the mirror (mesh.position) on the lock-free snapshot path.
+  std::thread reader([&] {
+    std::mt19937 rng(777);
+    std::uniform_real_distribution<double> u(0.02, 0.98);
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)locate_point(mesh, {u(rng), u(rng), u(rng)}, 0);
+    }
+  });
+  for (auto& th : pool) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(inserts.load(), 0u);
+  // check_integrity includes the mirror-vs-record scan; also assert it
+  // directly so a future integrity refactor cannot silently drop it.
+  EXPECT_EQ(mesh.check_integrity(/*check_delaunay=*/true), "");
+  for (VertexId v = 0; v < mesh.vertex_count(); ++v) {
+    if (mesh.vertex(v).dead.load()) continue;
+    const Vec3 m = mesh.position(v);
+    const Vec3& p = mesh.vertex(v).pos;
+    ASSERT_EQ(std::memcmp(&m, &p, sizeof(Vec3)), 0)
+        << "mirror mismatch at vertex " << v;
+  }
+}
+
+TEST(SoaMirror, CoherentAfterSingleThreadChurn) { soa_mirror_churn(1); }
+TEST(SoaMirror, CoherentAfterTwoThreadChurn) { soa_mirror_churn(2); }
+TEST(SoaMirror, CoherentAfterFourThreadChurn) { soa_mirror_churn(4); }
+
+TEST(SoaMirror, BatchedLocateMatchesScalar) {
+  // locate_points on a quiescent mesh must land every query in a cell that
+  // actually contains it (the same contract as scalar locate_point).
+  DelaunayMesh mesh({{0, 0, 0}, {1, 1, 1}}, 1 << 16, 1 << 19);
+  OpScratch s;
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> u(0.05, 0.95);
+  CellId hint = 0;
+  for (int i = 0; i < 600; ++i) {
+    const OpResult r = insert_point(mesh, {u(rng), u(rng), u(rng)},
+                                    VertexKind::Circumcenter, hint, 0, s);
+    if (r.status == OpStatus::Success) hint = s.created.front();
+  }
+  for (int round = 0; round < 64; ++round) {
+    Vec3 pts[kMaxLocateBatch];
+    CellId hints[kMaxLocateBatch];
+    LocateResult out[kMaxLocateBatch];
+    for (int k = 0; k < kMaxLocateBatch; ++k) {
+      pts[k] = {u(rng), u(rng), u(rng)};
+      hints[k] = hint;
+    }
+    const int ok = locate_points(mesh, pts, kMaxLocateBatch, hints, out);
+    EXPECT_EQ(ok, kMaxLocateBatch);
+    for (int k = 0; k < kMaxLocateBatch; ++k) {
+      ASSERT_TRUE(out[k].ok);
+      const LocateResult ref = locate_point(mesh, pts[k], hints[k]);
+      ASSERT_TRUE(ref.ok);
+      // Quiescent mesh + identical hint and walk rule: identical cell.
+      EXPECT_EQ(out[k].cell, ref.cell);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pi2m

@@ -8,10 +8,19 @@ Reports, without opening a browser:
   * steal locality (intra-socket / intra-blade / inter-blade split),
   * contention-manager wait time, and the dropped-event counter.
 
+With `--manifest MANIFEST.json` (the `--json-report` output of the same
+run) it additionally reports the SIMD predicate-filter economics: batched
+lanes, the fraction the vector stage-A filter certified directly (hits)
+versus lanes that fell back to the scalar adaptive/exact ladder, per
+predicate kind — alongside the per-phase wall times so the rates can be
+read against the phases that issue the batches (refine dominates; the EDT
+passes use the fixed-lane arithmetic that never falls back).
+
 With two trace files, prints the two summaries side by side (e.g. to
 compare contention managers or thread counts on the same input).
 
 Usage: tools/trace_summary.py TRACE.json [OTHER_TRACE.json]
+                              [--manifest MANIFEST.json]
 """
 
 import argparse
@@ -112,6 +121,37 @@ def summarize(doc):
     return s
 
 
+def simd_filter_section(manifest_path):
+    """SIMD filter hit/fallback rates from a pi2m run manifest."""
+    with open(manifest_path) as f:
+        man = json.load(f)
+    metrics = man.get("metrics", {})
+    rows = {}
+
+    def rate_row(kind):
+        lanes = metrics.get(f"predicates.simd.{kind}_lanes", 0)
+        fallback = metrics.get(f"predicates.simd.{kind}_fallback", 0)
+        batches = metrics.get(f"predicates.simd.{kind}_batches", 0)
+        if lanes:
+            hit = 100.0 * (lanes - fallback) / lanes
+            rows[kind] = (f"{int(lanes):>10} lanes in {int(batches)} batches, "
+                          f"{hit:.2f}% filter hits, "
+                          f"{100.0 - hit:.2f}% scalar fallback")
+        else:
+            rows[kind] = "no batched calls"
+
+    rate_row("orient3d")
+    rate_row("insphere")
+    if "predicates.simd.fallback_rate" in metrics:
+        rows["overall fallback"] = (
+            f"{100.0 * metrics['predicates.simd.fallback_rate']:.2f}%")
+    # Phase wall times from the manifest, so the rates above can be read
+    # against the phases that issue the batches.
+    for name, sec in sorted(man.get("phases", {}).items()):
+        rows[f"phase {name}"] = f"{sec:.3f} s"
+    return rows
+
+
 def print_single(s):
     for section, rows in s.items():
         if not rows:
@@ -145,9 +185,14 @@ def main():
     ap.add_argument("trace", help="Chrome trace JSON from pi2m --trace")
     ap.add_argument("other", nargs="?",
                     help="second trace: print both summaries side by side")
+    ap.add_argument("--manifest",
+                    help="pi2m run manifest (--json-report) of the same run: "
+                         "adds SIMD filter hit/fallback rates per phase")
     args = ap.parse_args()
 
     first = summarize(load_trace(args.trace))
+    if args.manifest:
+        first["simd predicate filter"] = simd_filter_section(args.manifest)
     if args.other is None:
         print_single(first)
     else:
