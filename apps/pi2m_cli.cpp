@@ -33,6 +33,7 @@ void usage() {
       "input (one of):\n"
       "  --input FILE.mha        segmented MetaImage (MET_UCHAR/USHORT, LOCAL)\n"
       "  --phantom NAME          ball|shells|abdominal|knee|head_neck|vessels\n"
+      "                          |ellipsoid|thick_shell (volume-dominated)\n"
       "  --size N                phantom grid size (default 64)\n"
       "  --downsample F          majority-vote downsample by integer factor\n"
       "  --crop-foreground PAD   crop to the foreground bounding box + PAD\n"
@@ -42,6 +43,10 @@ void usage() {
       "  --rho R                 radius-edge bound (default 2.0)\n"
       "  --facet-angle A         min boundary planar angle, deg (default 30)\n"
       "  --uniform-size S        uniform sizing field (R5)\n"
+      "  --interior NAME         lattice (BCC template bulk + Delaunay skin,\n"
+      "                          default) | delaunay (refine everywhere; the\n"
+      "                          pre-hybrid behaviour / A-B baseline)\n"
+      "  --lattice-spacing A     BCC cube size, world units (default 2*delta)\n"
       "  --threads T             worker threads (default 1)\n"
       "  --cm NAME               aggressive|random|global|local (default local)\n"
       "  --lb NAME               rws|hws (default hws)\n"
@@ -124,6 +129,16 @@ std::optional<Args> parse(int argc, char** argv) {
       s.mesh.min_planar_angle_deg = std::atof(next());
     } else if (key == "--uniform-size") {
       s.uniform_size = std::atof(next());
+    } else if (key == "--interior") {
+      const std::string name = next();
+      const auto fill = pi2m::parse_interior_name(name);
+      if (!fill) {
+        std::fprintf(stderr, "unknown interior fill '%s'\n", name.c_str());
+        std::exit(2);
+      }
+      s.mesh.interior = *fill;
+    } else if (key == "--lattice-spacing") {
+      s.mesh.lattice_spacing = std::atof(next());
     } else if (key == "--threads") {
       s.mesh.threads = std::atoi(next());
     } else if (key == "--cm") {
@@ -282,6 +297,13 @@ int main(int argc, char** argv) {
                          : 0.0;
   std::printf("time: EDT %.2fs + refinement %.2fs  (%.0f elements/s)\n",
               art.outcome.edt_sec, art.outcome.wall_sec, eps);
+  if (art.outcome.lattice_tets > 0) {
+    std::printf("lattice: %zu interior tets from %zu cubes, %zu interface "
+                "vertices (fill %.3fs, seed %.3fs)\n",
+                art.outcome.lattice_tets, art.outcome.lattice_cubes,
+                art.outcome.lattice_seeds, art.outcome.lattice_fill_sec,
+                art.outcome.lattice_seed_sec);
+  }
   if (art.smoothing) {
     std::printf("smoothing: %zu moves (%zu rejected), min dihedral %.2f -> "
                 "%.2f deg\n",

@@ -261,12 +261,13 @@ LabeledImage3D phantom_empty_label(int n) {
 void run_refiner_case(const LabeledImage3D& img, int threads, CmKind cm,
                       LbKind lb, unsigned seed, CaseResult& res,
                       check::MeshSnapshot* concurrent_out, Aabb* box_out,
-                      std::vector<check::OpRecord>* log_out) {
+                      std::vector<check::OpRecord>* log_out,
+                      double delta = 2.5) {
   RefinerOptions opt;
   opt.threads = threads;
   opt.cm = cm;
   opt.lb = lb;
-  opt.rules.delta = 2.5;
+  opt.rules.delta = delta;
   opt.max_vertices = std::size_t{1} << 20;
   opt.max_cells = std::size_t{1} << 22;
   opt.watchdog_sec = 60.0;
@@ -309,7 +310,13 @@ void run_refiner_case(const LabeledImage3D& img, int threads, CmKind cm,
 // Case dispatch, bundle dump, replay mode
 // ---------------------------------------------------------------------------
 
-constexpr int kScenarioCount = 7;
+constexpr int kScenarioCount = 8;
+
+// Scenario 7 runs at a δ small enough for the solid ellipsoid to have a
+// deep-interior band, so the hybrid BCC fill (protected lattice seeds, rule
+// tag 7 in the op log, interface-blocked R2/R4/R5) is exercised under
+// concurrency + replay like every other refiner path.
+constexpr double kEllipsoidDelta = 0.8;
 
 const char* scenario_name(int s) {
   switch (s) {
@@ -320,6 +327,7 @@ const char* scenario_name(int s) {
     case 4: return "phantom-touching";
     case 5: return "phantom-empty-label";
     case 6: return "phantom-blobs";
+    case 7: return "phantom-ellipsoid";
   }
   return "?";
 }
@@ -411,6 +419,10 @@ CaseResult run_case(unsigned seed, const std::string& out_dir) {
       run_refiner_case(phantom::random_blobs(24, seed), threads, cm, lb, seed,
                        res, &snap, &used_box, &log);
       break;
+    case 7:
+      run_refiner_case(phantom::ellipsoid(32), threads, cm, lb, seed, res,
+                       &snap, &used_box, &log, kEllipsoidDelta);
+      break;
   }
 
   std::printf("%-40s %s  (%zu ops, %d threads)\n", res.name.c_str(),
@@ -480,6 +492,10 @@ bool run_simd_compare_case(unsigned seed) {
       case 6:
         run_refiner_case(phantom::random_blobs(24, seed), 1, cm, lb, seed,
                          res, &snaps[li], nullptr, nullptr);
+        break;
+      case 7:
+        run_refiner_case(phantom::ellipsoid(32), 1, cm, lb, seed, res,
+                         &snaps[li], nullptr, nullptr, kEllipsoidDelta);
         break;
     }
     if (!res.ok) {

@@ -45,6 +45,8 @@ void usage() {
       "  --input FILE.mha | --phantom NAME [--size N]\n"
       "  --priority P            high|normal|low (default normal)\n"
       "  --delta D --rho R --facet-angle A --uniform-size S\n"
+      "  --interior M            lattice|delaunay (default lattice)\n"
+      "  --lattice-spacing A     BCC cube size override (0 = auto)\n"
       "  --downsample F --crop-foreground PAD\n"
       "  --threads T --cm NAME --lb NAME --smooth N\n"
       "  --report --validate     include quality / validation metrics\n"
@@ -61,9 +63,10 @@ struct Action {
   bool wait = false;
   std::string priority;
   // Job fields are collected as raw strings and emitted as typed JSON.
-  std::string input, phantom, cm, lb;
+  std::string input, phantom, cm, lb, interior;
   int size = 0, downsample = 0, crop_pad = -1, threads = 0, smooth = 0;
   double delta = 0, rho = 0, facet_angle = 0, uniform_size = 0;
+  double lattice_spacing = 0;
   bool report = false, validate = false;
   std::vector<std::string> outs;
 };
@@ -96,6 +99,8 @@ std::string build_request(const Action& a) {
   if (a.facet_angle > 0) w.kv("facet_angle", a.facet_angle);
   if (a.uniform_size > 0) w.kv("uniform_size", a.uniform_size);
   if (a.threads > 0) w.kv("threads", a.threads);
+  if (!a.interior.empty()) w.kv("interior", a.interior);
+  if (a.lattice_spacing > 0) w.kv("lattice_spacing", a.lattice_spacing);
   if (!a.cm.empty()) w.kv("cm", a.cm);
   if (!a.lb.empty()) w.kv("lb", a.lb);
   if (a.smooth > 0) w.kv("smooth", a.smooth);
@@ -186,6 +191,10 @@ int main(int argc, char** argv) {
       a.facet_angle = std::atof(next());
     } else if (key == "--uniform-size") {
       a.uniform_size = std::atof(next());
+    } else if (key == "--interior") {
+      a.interior = next();
+    } else if (key == "--lattice-spacing") {
+      a.lattice_spacing = std::atof(next());
     } else if (key == "--threads") {
       a.threads = std::atoi(next());
     } else if (key == "--cm") {

@@ -41,8 +41,14 @@ struct TetMesh {
 /// Extracts the final mesh from a refined triangulation: keeps cells whose
 /// circumcenter lies inside O, labels them by the tissue at the
 /// circumcenter, and collects label-interface triangles.
+///
+/// With a non-null `lattice` (a hybrid run's fill, from Refiner::lattice())
+/// the kernel cells covered by the structured region are dropped and the
+/// BCC template tets are appended in their place, sharing the seeded
+/// interface vertex indices — the stitched mesh is watertight across ∂L.
 TetMesh extract_mesh(const DelaunayMesh& mesh, const IsosurfaceOracle& oracle,
-                     int threads = 1);
+                     int threads = 1,
+                     const lattice::LatticeFill* lattice = nullptr);
 
 struct MeshingOptions {
   /// Surface sample spacing δ (world units). The dominant knob: halving δ
@@ -52,6 +58,13 @@ struct MeshingOptions {
   double radius_edge_bound = 2.0;
   double min_planar_angle_deg = 30.0;
   SizeFunction size_function;  ///< optional volume sizing field (R5)
+
+  /// Interior fill strategy: BCC-lattice bulk + Delaunay skin (default) or
+  /// pure Delaunay refinement (`delaunay`, the pre-hybrid behaviour and the
+  /// A/B baseline). Small images degrade to identical pure-Delaunay output.
+  InteriorFill interior = InteriorFill::Lattice;
+  /// Lattice cube size (world units); <= 0 = automatic (2δ).
+  double lattice_spacing = 0.0;
 
   int threads = 1;
   CmKind contention_manager = CmKind::Local;

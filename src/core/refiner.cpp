@@ -495,9 +495,37 @@ void Refiner::monitor() {
 RefineOutcome Refiner::refine() {
   PI2M_CHECK(!refined_, "Refiner::refine() may only run once");
   refined_ = true;
+  start_sec_ = now_sec();
 
-  // Seed thread 0 with the six initial cells (paper: "only the main thread
-  // might have a non-empty PEL" right after the box triangulation).
+  // Hybrid interior fill: build the BCC occupancy/templates from the EDT
+  // and seed the interface lattice points into the quiescent mesh before
+  // any worker starts — both phases count toward the refinement wall time
+  // (they replace refinement work, so benches must see their cost).
+  double lattice_fill_sec = 0.0, lattice_seed_sec = 0.0;
+  if (opt_.interior == InteriorFill::Lattice) {
+    {
+      PI2M_TRACE_SPAN("phase.lattice_fill", "phase");
+      const double t0 = now_sec();
+      lattice_ = std::make_unique<lattice::LatticeFill>(
+          *oracle_, opt_.rules.delta, opt_.lattice_spacing, opt_.threads);
+      lattice_fill_sec = now_sec() - t0;
+    }
+    if (lattice_->empty()) {
+      // No deep-interior band at this image/δ scale: degrade to the pure
+      // Delaunay path (byte-identical to --interior=delaunay).
+      lattice_.reset();
+    } else {
+      PI2M_TRACE_SPAN("phase.lattice_seed", "phase");
+      const double t0 = now_sec();
+      lattice_->seed_interface(*mesh_, 0, ctxs_[0]->scratch);
+      lattice_seed_sec = now_sec() - t0;
+      opt_.rules.lattice = lattice_.get();
+    }
+  }
+
+  // Seed thread 0 with the initial cells (paper: "only the main thread
+  // might have a non-empty PEL" right after the box triangulation) — after
+  // lattice seeding, so the enumeration sees the post-seed triangulation.
   {
     ThreadCtx& ctx = *ctxs_[0];
     mesh_->for_each_alive_cell([&](CellId c) {
@@ -505,8 +533,6 @@ RefineOutcome Refiner::refine() {
       outstanding_.fetch_add(1, std::memory_order_relaxed);
     });
   }
-
-  start_sec_ = now_sec();
   double wall = 0.0;
   {
     PI2M_TRACE_SPAN("phase.refine", "phase");
@@ -539,6 +565,14 @@ RefineOutcome Refiner::refine() {
   out.cancelled = cancelled_.load();
   out.wall_sec = wall;
   out.edt_sec = edt_sec_;
+  if (lattice_ != nullptr) {
+    const lattice::LatticeStats& ls = lattice_->stats();
+    out.lattice_cubes = ls.cubes_filled;
+    out.lattice_tets = ls.tets;
+    out.lattice_seeds = ls.interface_vertices;
+    out.lattice_fill_sec = lattice_fill_sec;
+    out.lattice_seed_sec = lattice_seed_sec;
+  }
   out.totals = aggregate(stats_);
   out.timeline = timeline_;
   for (std::size_t i = 0; i < rule_counts_.size(); ++i) {

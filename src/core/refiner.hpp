@@ -22,6 +22,7 @@
 #include "core/spatial_grid.hpp"
 #include "delaunay/operations.hpp"
 #include "imaging/isosurface.hpp"
+#include "lattice/lattice_fill.hpp"
 #include "runtime/contention.hpp"
 #include "runtime/mpsc_inbox.hpp"
 #include "runtime/park.hpp"
@@ -37,6 +38,15 @@ struct RefinerOptions {
   LbKind lb = LbKind::HWS;
   TopologySpec topology{};
   RefineRulesConfig rules{};
+
+  /// Interior strategy: BCC-lattice bulk + Delaunay skin (default), or pure
+  /// Delaunay refinement everywhere (the escape hatch / A-B baseline).
+  /// Images too small to contain a deep-interior band degrade conservatively
+  /// to a byte-identical pure-Delaunay run.
+  InteriorFill interior = InteriorFill::Lattice;
+  /// Lattice cube size in world units; <= 0 selects the automatic spacing
+  /// 2δ (disphenoid edges then match the surface sample spacing scale).
+  double lattice_spacing = 0.0;
 
   std::size_t max_vertices = std::size_t{1} << 22;
   std::size_t max_cells = std::size_t{1} << 24;
@@ -119,6 +129,13 @@ struct RefineOutcome {
   /// Violations found by the final audit (audit_final); empty when the
   /// audit passed or was not requested.
   std::vector<std::string> audit_errors;
+  /// Hybrid interior fill (all zero for pure-Delaunay runs or when the
+  /// image had no deep-interior band).
+  std::size_t lattice_cubes = 0;       ///< occupied lattice cubes
+  std::size_t lattice_tets = 0;        ///< template tets the extraction appends
+  std::size_t lattice_seeds = 0;       ///< protected interface vertices
+  double lattice_fill_sec = 0.0;       ///< occupancy + template instantiation
+  double lattice_seed_sec = 0.0;       ///< sequential interface seeding
 };
 
 class Refiner {
@@ -142,6 +159,11 @@ class Refiner {
   [[nodiscard]] const DelaunayMesh& mesh() const { return *mesh_; }
   [[nodiscard]] const IsosurfaceOracle& oracle() const { return *oracle_; }
   [[nodiscard]] const RefinerOptions& options() const { return opt_; }
+  /// The hybrid interior fill this run refined against; null for pure
+  /// Delaunay runs (or an empty band). Extraction stitches against it.
+  [[nodiscard]] const lattice::LatticeFill* lattice() const {
+    return lattice_.get();
+  }
   [[nodiscard]] const std::vector<ThreadStats>& thread_stats() const {
     return stats_;
   }
@@ -205,6 +227,7 @@ class Refiner {
   std::unique_ptr<CellGeomCache> geom_cache_;  ///< null when disabled
   std::unique_ptr<SpatialHashGrid> iso_grid_;
   std::unique_ptr<SpatialHashGrid> cc_grid_;
+  std::unique_ptr<lattice::LatticeFill> lattice_;  ///< null = pure Delaunay
   Topology topo_;
   std::unique_ptr<LoadBalancer> lb_;
   std::unique_ptr<ContentionManager> cm_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geometry/tetra.hpp"
+#include "lattice/lattice_fill.hpp"
 
 namespace pi2m {
 
@@ -77,6 +78,15 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
   if (!cs.valid) return out;  // degenerate slivers are unrefinable directly
   const double r = std::sqrt(cs.radius2);
 
+  // Hybrid interior-fill constraint: a rule whose insertion point falls in
+  // the lattice guard zone is suppressed (falls through to the next rule).
+  // R1/R3 surface points are geometrically outside the zone, so only
+  // quality/sizing refinement is muted near the structured interface.
+  const lattice::LatticeFill* lat = cfg.lattice;
+  const auto allowed = [lat](const Vec3& p) {
+    return lat == nullptr || !lat->protects(p);
+  };
+
   // --- fidelity rules R1 / R2 -----------------------------------------
   // O(1) EDT prefilter first: most interior/exterior elements are nowhere
   // near ∂O and skip the ray walk entirely. The cached lower bound makes
@@ -89,13 +99,13 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
       if (cache != nullptr) cache->store_closest(c, gen, zhat);
     }
     if (zhat.has_value() && distance(cs.center, *zhat) <= r) {
-      if (!iso_grid.any_within(*zhat, cfg.delta)) {
+      if (!iso_grid.any_within(*zhat, cfg.delta) && allowed(*zhat)) {
         out.rule = Rule::R1;
         out.point = *zhat;
         out.kind = VertexKind::Isosurface;
         return out;
       }
-      if (r > 2.0 * cfg.delta) {
+      if (r > 2.0 * cfg.delta && allowed(cs.center)) {
         out.rule = Rule::R2;
         out.point = cs.center;
         out.kind = VertexKind::Circumcenter;
@@ -153,6 +163,7 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
         distance(*hit, fc) < guard) {
       continue;
     }
+    if (!allowed(*hit)) continue;
     out.rule = Rule::R3;
     out.point = *hit;
     out.kind = VertexKind::SurfaceCenter;
@@ -166,13 +177,14 @@ Classification classify_cell(const DelaunayMesh& mesh, CellId c,
 
   const auto pos = mesh.positions(c);
   const double shortest = shortest_edge(pos[0], pos[1], pos[2], pos[3]);
-  if (shortest > 0.0 && r / shortest > cfg.rho_bound) {
+  if (shortest > 0.0 && r / shortest > cfg.rho_bound &&
+      allowed(cs.center)) {
     out.rule = Rule::R4;
     out.point = cs.center;
     out.kind = VertexKind::Circumcenter;
     return out;
   }
-  if (cfg.size_fn && r > cfg.size_fn(cs.center)) {
+  if (cfg.size_fn && r > cfg.size_fn(cs.center) && allowed(cs.center)) {
     out.rule = Rule::R5;
     out.point = cs.center;
     out.kind = VertexKind::Circumcenter;

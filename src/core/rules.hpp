@@ -24,6 +24,10 @@
 
 namespace pi2m {
 
+namespace lattice {
+class LatticeFill;
+}
+
 enum class Rule : std::uint8_t { None = 0, R1, R2, R3, R4, R5 };
 
 const char* to_string(Rule r);
@@ -34,6 +38,14 @@ struct RefineRulesConfig {
   double min_planar_angle_deg = 30.0;  ///< boundary facet angle bound (R3)
   SizeFunction size_fn;                ///< optional sizing field (R5)
   double removal_factor = 2.0;         ///< R6 radius = removal_factor * delta
+  /// Hybrid interior fill: when non-null, no rule may insert a point inside
+  /// the lattice guard zone (LatticeFill::protects) — refinement must never
+  /// encroach the structured region or its interface circumspheres. A
+  /// blocked rule falls through to the next one; a cell with every
+  /// applicable rule blocked classifies as Rule::None (no requeue, so
+  /// termination is preserved). Surface points (R1/R3) are never blocked:
+  /// the occupancy band keeps the guard zone >= 2δ away from ∂O.
+  const lattice::LatticeFill* lattice = nullptr;
 };
 
 struct Classification {

@@ -45,6 +45,7 @@ enum class VertexKind : std::uint8_t {
   Isosurface,     ///< rule R1 sample point on ∂O
   SurfaceCenter,  ///< rule R3 Voronoi-edge/∂O intersection (also on ∂O)
   Circumcenter,   ///< rules R2/R4/R5 Steiner point (removable by R6)
+  Lattice,        ///< protected BCC interface seed (hybrid interior fill)
 };
 
 /// True for vertex kinds that lie on the isosurface and participate in the

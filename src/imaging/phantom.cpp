@@ -48,6 +48,27 @@ LabeledImage3D ball(int n, double radius_frac) {
   });
 }
 
+LabeledImage3D ellipsoid(int n) {
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  // Distinct semi-axes so no lattice plane aligns with a symmetry plane,
+  // while keeping ~25% of the volume foreground (interior-dominated).
+  const Vec3 r{0.44 * (n - 1), 0.38 * (n - 1), 0.31 * (n - 1)};
+  return from_function(n, n, n, {1, 1, 1}, [&](const Vec3& p) -> Label {
+    return in_ellipsoid(p, c, r) ? 1 : 0;
+  });
+}
+
+LabeledImage3D thick_shell(int n) {
+  const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
+  const double r_outer = 0.45 * (n - 1), r_core = 0.28 * (n - 1);
+  return from_function(n, n, n, {1, 1, 1}, [&](const Vec3& p) -> Label {
+    const double d2 = distance2(p, c);
+    if (d2 <= r_core * r_core) return 1;
+    if (d2 <= r_outer * r_outer) return 2;
+    return 0;
+  });
+}
+
 LabeledImage3D concentric_shells(int n) {
   const Vec3 c{(n - 1) * 0.5, (n - 1) * 0.5, (n - 1) * 0.5};
   const double r_outer = 0.42 * n, r_inner = 0.22 * n;

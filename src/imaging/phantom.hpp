@@ -28,6 +28,18 @@ LabeledImage3D ball(int n, double radius_frac = 0.7);
 /// input with an internal material interface.
 LabeledImage3D concentric_shells(int n);
 
+/// Volume-dominated family: a solid anisotropic ellipsoid (label 1) filling
+/// most of the volume. The vast majority of elements are deep interior —
+/// the stress case for the hybrid BCC interior fill and its benchmark
+/// input (--interior=lattice vs delaunay).
+LabeledImage3D ellipsoid(int n);
+
+/// Volume-dominated two-material variant: a large ball whose thick outer
+/// shell (label 2) wraps a solid core (label 1). Both regions have deep
+/// interiors, so the lattice fill must keep the internal interface
+/// unstructured while filling two material bulks.
+LabeledImage3D thick_shell(int n);
+
 /// "Abdominal"-style phantom: a large ellipsoidal body (label 1) containing
 /// an off-center liver-like ellipsoid (2), two kidney-like ellipsoids (3),
 /// and a spine-like cylinder (4). Mirrors the multi-organ structure of the

@@ -126,6 +126,10 @@ bool MeshJob::prepare() {
       art_.image = phantom::head_neck(n, n, n);
     } else if (p == "vessels") {
       art_.image = phantom::vessels(n);
+    } else if (p == "ellipsoid") {
+      art_.image = phantom::ellipsoid(n);
+    } else if (p == "thick_shell") {
+      art_.image = phantom::thick_shell(n);
     } else {
       return fail("unknown phantom '" + p + "'");
     }
@@ -224,6 +228,9 @@ const JobArtifacts& MeshJob::run() {
       art_.metrics,
       simd_counters_delta(spred0, simd_predicate_counters()));
   telemetry::collect_mesh(art_.metrics, art_.mesh);
+  telemetry::collect_throughput(art_.metrics, art_.mesh,
+                                art_.outcome.lattice_tets,
+                                art_.outcome.wall_sec);
   if (art_.smoothing) telemetry::collect_smoothing(art_.metrics,
                                                    *art_.smoothing);
   if (art_.quality) telemetry::collect_quality(art_.metrics, *art_.quality);
@@ -277,6 +284,10 @@ telemetry::RunManifest MeshJob::build_manifest(const std::string& tool) const {
   if (spec_.downsample > 1) man.set_config("downsample", spec_.downsample);
   if (spec_.crop_pad >= 0) man.set_config("crop_foreground", spec_.crop_pad);
   man.set_config("delta", spec_.mesh.delta);
+  man.set_config("interior", interior_name(spec_.mesh.interior));
+  if (spec_.mesh.lattice_spacing > 0) {
+    man.set_config("lattice_spacing", spec_.mesh.lattice_spacing);
+  }
   man.set_config("rho", spec_.mesh.radius_edge_bound);
   man.set_config("facet_angle", spec_.mesh.min_planar_angle_deg);
   if (spec_.uniform_size > 0) {
@@ -297,6 +308,10 @@ telemetry::RunManifest MeshJob::build_manifest(const std::string& tool) const {
     man.add_phase("queue_wait", art_.queue_wait_sec);
   }
   man.add_phase("edt", art_.outcome.edt_sec);
+  if (art_.outcome.lattice_tets > 0) {
+    man.add_phase("lattice_fill", art_.outcome.lattice_fill_sec);
+    man.add_phase("lattice_seed", art_.outcome.lattice_seed_sec);
+  }
   man.add_phase("refine", art_.outcome.wall_sec);
   if (spec_.smooth > 0) man.add_phase("smooth", art_.smooth_sec);
   man.metrics = art_.metrics;

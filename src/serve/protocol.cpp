@@ -132,6 +132,20 @@ bool decode_job(const JsonValue& j, JobSpec* spec, std::string* error) {
     }
     spec->mesh.load_balancer = *lb;
   }
+  if (j["interior"].is_string()) {
+    const auto fill = parse_interior_name(j["interior"].as_string());
+    if (!fill) {
+      *error = "unknown interior fill '" + j["interior"].as_string() + "'";
+      return false;
+    }
+    spec->mesh.interior = *fill;
+  }
+  spec->mesh.lattice_spacing =
+      j["lattice_spacing"].as_double(spec->mesh.lattice_spacing);
+  if (spec->mesh.lattice_spacing < 0) {
+    *error = "lattice_spacing must be non-negative";
+    return false;
+  }
   spec->mesh.use_reference_walks =
       j["reference_walks"].as_bool(spec->mesh.use_reference_walks);
   if (j["smooth"].is_number()) {

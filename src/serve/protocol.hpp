@@ -19,6 +19,7 @@
 //              "labels_b64": "<base64 of nx*ny*nz label bytes>"}
 //   "downsample", "crop_pad", "delta", "rho", "facet_angle",
 //   "uniform_size", "threads", "cm", "lb", "smooth",
+//   "interior": "lattice|delaunay", "lattice_spacing",
 //   "reference_walks", "report", "validate", "outputs": ["/path/out.vtk"]
 //
 // Responses always carry "ok". Failures carry a stable machine-readable

@@ -69,6 +69,13 @@ inline void collect_outcome(MetricsRegistry& r, const RefineOutcome& o) {
                           : 0.0);
   r.set("classify.csp.hits", o.classify_csp_hits);
   r.set("classify.csp.misses", o.classify_csp_misses);
+  // Hybrid interior fill (all zero when --interior=delaunay or the image
+  // had no deep-interior band).
+  r.set("lattice.cells_filled", o.lattice_cubes);
+  r.set("lattice.tets", o.lattice_tets);
+  r.set("lattice.interface_vertices", o.lattice_seeds);
+  r.set("lattice.fill_sec", o.lattice_fill_sec);
+  r.set("lattice.seed_sec", o.lattice_seed_sec);
 }
 
 inline void collect_predicates(MetricsRegistry& r,
@@ -103,6 +110,23 @@ inline void collect_mesh(MetricsRegistry& r, const TetMesh& m) {
   r.set("mesh.tets", m.num_tets());
   r.set("mesh.points", m.num_points());
   r.set("mesh.boundary_tris", m.boundary_tris.size());
+}
+
+/// Element throughput + interior/shell breakdown. `interior_tets` is the
+/// template-tet count from the refine outcome; the remainder of the final
+/// mesh is the Delaunay shell. `mesh_sec` is the meshing wall time
+/// (refinement incl. lattice fill/seed; EDT excluded, as elements/s on the
+/// serving path reuses cached EDTs).
+inline void collect_throughput(MetricsRegistry& r, const TetMesh& m,
+                               std::size_t interior_tets, double mesh_sec) {
+  const std::size_t total = m.num_tets();
+  const std::size_t interior = interior_tets < total ? interior_tets : total;
+  r.set("mesh.interior_tets", interior);
+  r.set("mesh.shell_tets", total - interior);
+  r.set("mesh.elements_per_second",
+        mesh_sec > 0.0 ? static_cast<double>(total) / mesh_sec : 0.0);
+  r.set("mesh.us_per_element",
+        total > 0 ? 1e6 * mesh_sec / static_cast<double>(total) : 0.0);
 }
 
 inline void collect_quality(MetricsRegistry& r, const QualityReport& q) {

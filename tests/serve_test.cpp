@@ -203,6 +203,44 @@ TEST(ServeProtocol, DecodesInlineVolume) {
       &bad, &err));
 }
 
+TEST(ServeProtocol, InteriorKnobRoundTrip) {
+  // The knob travels client -> JSON -> JobSpec -> per-job manifest.
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(decode_job(
+      json_parse(R"({"phantom":"ball","interior":"delaunay",)"
+                 R"("lattice_spacing":3.5})"),
+      &spec, &err))
+      << err;
+  EXPECT_EQ(spec.mesh.interior, InteriorFill::Delaunay);
+  EXPECT_EQ(spec.mesh.lattice_spacing, 3.5);
+
+  // Absent knob keeps the hybrid default.
+  JobSpec dflt;
+  ASSERT_TRUE(decode_job(json_parse(R"({"phantom":"ball"})"), &dflt, &err));
+  EXPECT_EQ(dflt.mesh.interior, InteriorFill::Lattice);
+
+  // Unknown fills and negative spacings are refused.
+  JobSpec bad;
+  EXPECT_FALSE(decode_job(
+      json_parse(R"({"phantom":"ball","interior":"voronoi"})"), &bad, &err));
+  EXPECT_NE(err.find("interior"), std::string::npos);
+  EXPECT_FALSE(decode_job(
+      json_parse(R"({"phantom":"ball","lattice_spacing":-1})"), &bad, &err));
+
+  // A decoded spec carries the knob into the job's run manifest.
+  spec.phantom = "ball";
+  spec.phantom_size = 16;
+  spec.mesh.delta = 1.5;
+  spec.mesh.threads = 1;
+  MeshJob job(std::move(spec));
+  ASSERT_TRUE(job.run().ok) << job.artifacts().error;
+  const JsonValue man =
+      json_parse(job.build_manifest("serve_test").to_json(), &err);
+  ASSERT_TRUE(man.is_object()) << err;
+  EXPECT_EQ(man["config"]["interior"].as_string(), "delaunay");
+}
+
 // ---------- job queue ----------
 
 TEST(ServeQueue, PriorityThenFifo) {

@@ -14,7 +14,10 @@ lanes, the fraction the vector stage-A filter certified directly (hits)
 versus lanes that fell back to the scalar adaptive/exact ladder, per
 predicate kind — alongside the per-phase wall times so the rates can be
 read against the phases that issue the batches (refine dominates; the EDT
-passes use the fixed-lane arithmetic that never falls back).
+passes use the fixed-lane arithmetic that never falls back) — and the
+element-throughput economics of the hybrid interior fill: elements/s,
+us/element, the interior (BCC template) vs shell (Delaunay) tet split,
+and the lattice fill/seed counters.
 
 With two trace files, prints the two summaries side by side (e.g. to
 compare contention managers or thread counts on the same input).
@@ -152,6 +155,36 @@ def simd_filter_section(manifest_path):
     return rows
 
 
+def throughput_section(manifest_path):
+    """Element throughput + hybrid interior-fill economics from a manifest."""
+    with open(manifest_path) as f:
+        man = json.load(f)
+    metrics = man.get("metrics", {})
+    rows = {}
+    total = int(metrics.get("mesh.tets", 0))
+    if "mesh.elements_per_second" in metrics:
+        rows["elements/s"] = f"{metrics['mesh.elements_per_second']:,.0f}"
+        rows["us/element"] = f"{metrics.get('mesh.us_per_element', 0.0):.2f}"
+    if "mesh.interior_tets" in metrics and total:
+        interior = int(metrics["mesh.interior_tets"])
+        shell = int(metrics.get("mesh.shell_tets", total - interior))
+        rows["interior tets (BCC)"] = (
+            f"{interior:>10} ({100.0 * interior / total:.1f}%)")
+        rows["shell tets (Delaunay)"] = (
+            f"{shell:>10} ({100.0 * shell / total:.1f}%)")
+    filled = int(metrics.get("lattice.cells_filled", 0))
+    if filled:
+        rows["lattice cubes"] = str(filled)
+        rows["lattice interface vertices"] = (
+            str(int(metrics.get("lattice.interface_vertices", 0))))
+        rows["lattice fill"] = f"{metrics.get('lattice.fill_sec', 0.0):.3f} s"
+        rows["lattice seed"] = f"{metrics.get('lattice.seed_sec', 0.0):.3f} s"
+    elif "interior" in man.get("config", {}):
+        rows["interior mode"] = (
+            f"{man['config']['interior']} (no lattice band engaged)")
+    return rows
+
+
 def print_single(s):
     for section, rows in s.items():
         if not rows:
@@ -193,6 +226,7 @@ def main():
     first = summarize(load_trace(args.trace))
     if args.manifest:
         first["simd predicate filter"] = simd_filter_section(args.manifest)
+        first["element throughput"] = throughput_section(args.manifest)
     if args.other is None:
         print_single(first)
     else:
